@@ -1,0 +1,59 @@
+// Fig. 6 — Training-set vs test-set data collection time. Paper: collecting
+// the 20%-of-feature-space test set FACT needs for convergence testing costs
+// 6-11x the converged training set, per collective.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/csv.hpp"
+#include "util/units.hpp"
+
+using namespace acclaim;
+using benchharness::bebop_dataset;
+
+int main() {
+  benchharness::banner("Fig. 6: test-set vs training-set collection time (normalized)",
+                       "Expectation: the 20% test set costs several times the training set");
+
+  const bench::Dataset& ds = bebop_dataset();
+  const core::FeatureSpace space = benchharness::bebop_space();
+  const core::Evaluator ev(ds);
+
+  util::TablePrinter table({"collective", "train points", "train time", "test points",
+                            "test time", "test/train ratio"});
+  util::CsvWriter csv(benchharness::results_path("fig06"));
+  csv.header({"collective", "train_points", "train_s", "test_points", "test_s", "ratio"});
+  for (coll::Collective c : coll::paper_collectives()) {
+    // Converged ACCLAiM training set (variance criterion, no test set).
+    core::DatasetEnvironment env(ds);
+    core::AcclaimAcquisition policy;
+    core::ActiveLearnerConfig cfg;
+    cfg.forest = benchharness::bench_forest();
+    cfg.seed = 5;
+    core::ActiveLearner learner(c, space, env, policy, cfg);
+    const core::TrainingResult result = learner.run();
+
+    // The FACT test-set protocol: 20% of the *full* feature space (P2 and
+    // non-P2 values), every algorithm benchmarked.
+    const auto all = benchharness::full_test_set(c);
+    util::Rng rng(17);
+    const auto pick = rng.sample_without_replacement(all.size(), all.size() / 5);
+    std::vector<bench::Scenario> test;
+    for (std::size_t i : pick) {
+      test.push_back(all[i]);
+    }
+    core::DatasetEnvironment test_env(ds);
+    const double test_s = core::test_set_collection_cost_s(test, test_env);
+    const double ratio = test_s / result.train_time_s;
+    table.add_row({coll::collective_name(c), std::to_string(result.collected.size()),
+                   util::format_seconds(result.train_time_s),
+                   std::to_string(test.size() * coll::algorithms_for(c).size()),
+                   util::format_seconds(test_s), util::fixed(ratio, 2) + "x"});
+    csv.row_numeric({static_cast<double>(static_cast<int>(c)),
+                     static_cast<double>(result.collected.size()), result.train_time_s,
+                     static_cast<double>(test.size() * coll::algorithms_for(c).size()), test_s,
+                     ratio});
+  }
+  table.print(std::cout);
+  std::cout << "\n(paper: ratios of 6-11x; shape target: test collection dwarfs training)\n";
+  return 0;
+}

@@ -1,0 +1,193 @@
+// Google-benchmark microbenchmarks for the performance-critical substrate:
+// schedule construction, cost execution, forest fit/predict, jackknife
+// variance, rule lookup, and JSON round trips. These guard the costs that
+// determine how long the figure harnesses and the production pipeline take.
+#include <benchmark/benchmark.h>
+
+#include "benchdata/dataset.hpp"
+#include "collectives/types.hpp"
+#include "core/feature_space.hpp"
+#include "core/model.hpp"
+#include "core/rulegen.hpp"
+#include "minimpi/cost_executor.hpp"
+#include "minimpi/schedule.hpp"
+#include "ml/forest.hpp"
+#include "simnet/allocation.hpp"
+#include "simnet/machine.hpp"
+#include "simnet/network.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace acclaim;
+
+/// Sink that only counts, to benchmark pure schedule construction.
+class CountingSink final : public minimpi::RoundSink {
+ public:
+  void on_round(const minimpi::Round& round) override { transfers_ += round.transfers.size(); }
+  std::size_t transfers() const { return transfers_; }
+
+ private:
+  std::size_t transfers_ = 0;
+};
+
+void BM_ScheduleBuild(benchmark::State& state) {
+  const auto alg = static_cast<coll::Algorithm>(state.range(0));
+  const int nranks = static_cast<int>(state.range(1));
+  coll::CollParams p;
+  p.nranks = nranks;
+  p.count = 4096;
+  p.type_size = 8;
+  for (auto _ : state) {
+    CountingSink sink;
+    coll::build_schedule(alg, p, sink);
+    benchmark::DoNotOptimize(sink.transfers());
+  }
+  state.SetLabel(coll::algorithm_info(alg).name);
+}
+BENCHMARK(BM_ScheduleBuild)
+    ->Args({static_cast<int>(coll::Algorithm::BcastBinomial), 256})
+    ->Args({static_cast<int>(coll::Algorithm::AllgatherRing), 256})
+    ->Args({static_cast<int>(coll::Algorithm::AllgatherBruck), 256})
+    ->Args({static_cast<int>(coll::Algorithm::AllreduceReduceScatterAllgather), 256})
+    ->Args({static_cast<int>(coll::Algorithm::AllgatherRing), 1024});
+
+void BM_CostExecution(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  const simnet::MachineConfig machine = simnet::bebop_like();
+  const simnet::Topology topo(machine);
+  const simnet::NetworkModel net(topo, 1);
+  const int nodes = std::min(64, nranks);
+  std::vector<int> ids(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    ids[static_cast<std::size_t>(i)] = i;
+  }
+  const simnet::Allocation alloc(ids);
+  const minimpi::RankMap rm(alloc, nranks / nodes);
+  coll::CollParams p;
+  p.nranks = nranks;
+  p.count = 65536;
+  p.type_size = 1;
+  for (auto _ : state) {
+    minimpi::CostExecutor cost(net, rm);
+    coll::build_schedule(coll::Algorithm::AllgatherRing, p, cost);
+    benchmark::DoNotOptimize(cost.elapsed_us());
+  }
+}
+BENCHMARK(BM_CostExecution)->Arg(64)->Arg(256)->Arg(1024);
+
+struct ForestFixture {
+  std::vector<ml::FeatureRow> X;
+  std::vector<double> y;
+  ForestFixture() {
+    util::Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+      const double a = rng.uniform(0, 7);
+      const double b = rng.uniform(0, 6);
+      const double c = rng.uniform(3, 20);
+      const double d = rng.uniform(0, 3);
+      X.push_back({a, b, c, d});
+      y.push_back(a + 0.5 * b + 0.1 * c * c + d + rng.normal(0, 0.3));
+    }
+  }
+};
+
+void BM_ForestFit(benchmark::State& state) {
+  static const ForestFixture fx;
+  ml::ForestParams params;
+  params.n_trees = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ml::RandomForest f;
+    f.fit(fx.X, fx.y, params, 7);
+    benchmark::DoNotOptimize(f.n_trees());
+  }
+}
+BENCHMARK(BM_ForestFit)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_ForestPredictTrees(benchmark::State& state) {
+  static const ForestFixture fx;
+  ml::ForestParams params;
+  params.n_trees = 50;
+  ml::RandomForest f;
+  f.fit(fx.X, fx.y, params, 7);
+  const ml::FeatureRow probe{3.0, 2.0, 10.0, 1.0};
+  std::vector<double> out;
+  for (auto _ : state) {
+    f.predict_trees(probe, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ForestPredictTrees);
+
+void BM_Jackknife(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<double> preds(static_cast<std::size_t>(state.range(0)));
+  for (auto& v : preds) {
+    v = rng.normal(10.0, 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::jackknife_variance(preds));
+  }
+}
+BENCHMARK(BM_Jackknife)->Arg(50)->Arg(100);
+
+void BM_JsonRoundTrip(benchmark::State& state) {
+  // A realistic selection-config document.
+  util::Json doc = util::Json::object();
+  doc["format"] = "acclaim-coll-tuning-v1";
+  util::Json buckets = util::Json::array();
+  for (int n = 2; n <= 64; n *= 2) {
+    util::Json bucket = util::Json::object();
+    bucket["nnodes"] = n;
+    bucket["ppn"] = 16;
+    util::Json rules = util::Json::array();
+    util::Json r1 = util::Json::object();
+    r1["msg_size_le"] = 8192;
+    r1["algorithm"] = "binomial";
+    rules.push_back(std::move(r1));
+    util::Json r2 = util::Json::object();
+    r2["algorithm"] = "scatter_ring_allgather";
+    rules.push_back(std::move(r2));
+    bucket["rules"] = std::move(rules);
+    buckets.push_back(std::move(bucket));
+  }
+  util::Json colls = util::Json::object();
+  colls["bcast"] = std::move(buckets);
+  doc["collectives"] = std::move(colls);
+  const std::string text = doc.dump(2);
+  for (auto _ : state) {
+    const util::Json parsed = util::Json::parse(text);
+    benchmark::DoNotOptimize(parsed.dump().size());
+  }
+}
+BENCHMARK(BM_JsonRoundTrip);
+
+void BM_RuleLookup(benchmark::State& state) {
+  core::RuleTable table(coll::Collective::Bcast);
+  for (int n = 2; n <= 64; n *= 2) {
+    for (int ppn = 1; ppn <= 32; ppn *= 2) {
+      table.set_bucket(core::BucketKey{n, ppn},
+                       {{8192, coll::Algorithm::BcastBinomial},
+                        {core::kRuleMax, coll::Algorithm::BcastScatterRingAllgather}});
+    }
+  }
+  const bench::Scenario s{coll::Collective::Bcast, 16, 8, 4096};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(s));
+  }
+}
+BENCHMARK(BM_RuleLookup);
+
+void BM_EncodePoint(benchmark::State& state) {
+  const bench::BenchmarkPoint p{{coll::Collective::Allreduce, 32, 16, 65536},
+                                coll::Algorithm::AllreduceReduceScatterAllgather};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::encode_point(p));
+  }
+}
+BENCHMARK(BM_EncodePoint);
+
+}  // namespace
+
+BENCHMARK_MAIN();

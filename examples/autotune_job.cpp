@@ -1,0 +1,90 @@
+// The production flow of Fig. 1(b): submit a job through ACCLAiM.
+//
+// A user job names the collectives its application predominantly uses; the
+// pipeline allocates the job on the (busy) machine, trains per-collective
+// models with parallel data collection, writes the MPICH selection JSON, and
+// the application then runs with tuned selections. The example finishes with
+// the economics: application speedup vs the default heuristic and the
+// break-even runtime that amortizes the training cost.
+//
+// Usage: autotune_job [nnodes] [ppn] [collective ...]
+//        defaults: 32 nodes, 16 ppn, allreduce bcast
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/heuristic.hpp"
+#include "core/pipeline.hpp"
+#include "platform/app_model.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace acclaim;
+
+int main(int argc, char** argv) {
+  core::JobSpec spec;
+  spec.nnodes = argc > 1 ? std::stoi(argv[1]) : 32;
+  spec.ppn = argc > 2 ? std::stoi(argv[2]) : 16;
+  for (int i = 3; i < argc; ++i) {
+    spec.collectives.push_back(coll::parse_collective(argv[i]));
+  }
+  if (spec.collectives.empty()) {
+    spec.collectives = {coll::Collective::Bcast, coll::Collective::Allreduce};
+  }
+  spec.max_msg = 1 << 20;
+  spec.job_seed = 2026;
+
+  std::cout << "job: " << spec.nnodes << " nodes x " << spec.ppn << " ppn on a "
+            << simnet::theta_like().name << " machine; tuning";
+  for (coll::Collective c : spec.collectives) {
+    std::cout << " " << coll::collective_name(c);
+  }
+  std::cout << "\n\n== training (runs before the application, inside the allocation) ==\n";
+
+  core::ActiveLearnerConfig learner;
+  learner.forest.n_trees = 50;
+  learner.max_points = 250;
+  const core::AcclaimPipeline pipeline(simnet::theta_like(), learner);
+  const core::PipelineResult result = pipeline.run(spec);
+
+  util::TablePrinter training({"collective", "points", "iterations", "time", "max parallel"});
+  for (const auto& t : result.training) {
+    training.add_row({coll::collective_name(t.collective), std::to_string(t.points),
+                      std::to_string(t.iterations), util::format_seconds(t.train_time_s),
+                      std::to_string(t.max_batch)});
+  }
+  training.print(std::cout);
+  result.config.dump_file("acclaim_tuning.json");
+  std::cout << "total training: " << util::format_seconds(result.total_training_s)
+            << " (simulated collection time); wrote acclaim_tuning.json\n";
+
+  std::cout << "\n== application execution (tuned vs default selections) ==\n";
+  const core::SelectionEngine engine = result.engine();
+  // Ground-truth latencies for this job come from its own live environment.
+  const simnet::Topology& topo = pipeline.topology();
+  core::LiveEnvironment env(topo, result.allocation, result.job_seed);
+  const platform::TimeSource time_us = [&](const bench::Scenario& s, coll::Algorithm a) {
+    return env.measure(bench::BenchmarkPoint{s, a}).mean_us;
+  };
+  const core::Selector tuned = [&](const bench::Scenario& s) { return engine.select(s); };
+
+  const auto profile = platform::make_synthetic_app(
+      "synthetic-solver", spec.collectives.front(), spec.nnodes, spec.ppn,
+      /*collective_fraction=*/0.4, time_us, core::mpich_default_selection);
+  const platform::ApplicationModel app(profile);
+  const double speedup = app.speedup(tuned, core::mpich_default_selection, time_us);
+  std::cout << "application spends "
+            << util::fixed(app.collective_fraction(core::mpich_default_selection, time_us) * 100,
+                           0)
+            << "% of its time in collectives\n"
+            << "speedup with tuned selections: " << util::fixed(speedup, 4) << "x\n";
+  if (speedup > 1.0) {
+    std::cout << "break-even application runtime: "
+              << util::format_seconds(
+                     platform::breakeven_runtime_s(result.total_training_s, speedup))
+              << " (jobs longer than this come out ahead)\n";
+  } else {
+    std::cout << "defaults were already optimal for this mix; no training payback needed\n";
+  }
+  return 0;
+}

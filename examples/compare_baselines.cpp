@@ -1,0 +1,116 @@
+// Side-by-side comparison of the three autotuner generations on one
+// collective: Hunold et al. (random sampling, model per algorithm), FACT
+// (surrogate-driven active learning), and ACCLAiM (jackknife variance on the
+// primary model + non-P2 sampling + variance convergence).
+//
+// Usage: compare_baselines [collective] [budget-points]   (default: bcast 150)
+#include <iostream>
+#include <string>
+
+#include "benchdata/dataset.hpp"
+#include "core/acquisition.hpp"
+#include "core/active_learner.hpp"
+#include "core/baselines.hpp"
+#include "core/evaluator.hpp"
+#include "core/heuristic.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace acclaim;
+
+int main(int argc, char** argv) {
+  const coll::Collective c =
+      argc > 1 ? coll::parse_collective(argv[1]) : coll::Collective::Bcast;
+  const int budget = argc > 2 ? std::stoi(argv[2]) : 150;
+
+  // A small bebop-like dataset (collected fresh; a few seconds).
+  simnet::MachineConfig machine = simnet::bebop_like();
+  machine.total_nodes = 32;
+  bench::FeatureGrid grid = bench::FeatureGrid::p2(32, 16, 64, 1 << 20);
+  util::Rng grng(5);
+  const bench::FeatureGrid np2 = grid.with_nonp2_msgs(grng);
+  grid.msgs.insert(grid.msgs.end(), np2.msgs.begin(), np2.msgs.end());
+  std::sort(grid.msgs.begin(), grid.msgs.end());
+  std::cout << "collecting dataset for " << coll::collective_name(c) << " ("
+            << grid.points(c).size() << " points)...\n";
+  const bench::Dataset ds = bench::precollect(machine, grid, {c}, 11);
+  const core::FeatureSpace space =
+      core::FeatureSpace::from_grid(bench::FeatureGrid::p2(32, 16, 64, 1 << 20));
+  const core::Evaluator ev(ds);
+  const auto test = space.scenarios(c);
+
+  ml::ForestParams forest = core::default_forest_params();
+  forest.n_trees = 50;
+
+  util::TablePrinter table(
+      {"autotuner", "training points", "collection time", "avg slowdown", "optimal rate"});
+
+  // MPICH static default (no training at all).
+  table.add_row({"MPICH default heuristic", "0", "0 s",
+                 util::fixed(ev.average_slowdown(test, core::mpich_default_selection), 3),
+                 util::fixed(ev.optimal_rate(test, core::mpich_default_selection) * 100, 1) +
+                     "%"});
+
+  // Hunold: random sample of the same budget.
+  {
+    core::HunoldAutotuner tuner(c, forest);
+    const double fraction =
+        static_cast<double>(budget) / static_cast<double>(ds.points(c).size());
+    const double cost = tuner.fit(ds, std::min(1.0, fraction), 3);
+    const auto select = [&](const bench::Scenario& s) { return tuner.select(s); };
+    table.add_row({"Hunold et al. (random)", std::to_string(budget),
+                   util::format_seconds(cost), util::fixed(ev.average_slowdown(test, select), 3),
+                   util::fixed(ev.optimal_rate(test, select) * 100, 1) + "%"});
+  }
+
+  // FACT: surrogate-driven acquisition to the same budget.
+  {
+    core::DatasetEnvironment env(ds);
+    core::SurrogateAcquisitionConfig scfg;
+    scfg.surrogate = forest;
+    core::SurrogateAcquisition policy(c, 3, scfg);
+    core::ActiveLearnerConfig cfg;
+    cfg.forest = forest;
+    cfg.max_points = budget;
+    cfg.patience = 1 << 20;
+    core::ActiveLearner learner(c, space, env, policy, cfg);
+    const auto result = learner.run();
+    const double slow = ev.average_slowdown(test, result.model);
+    table.add_row({"FACT (surrogate AL)", std::to_string(result.collected.size()),
+                   util::format_seconds(result.train_time_s), util::fixed(slow, 3),
+                   util::fixed(ev.optimal_rate(test,
+                                               [&](const bench::Scenario& s) {
+                                                 return result.model.select(s);
+                                               }) *
+                                   100,
+                               1) +
+                       "%"});
+  }
+
+  // ACCLAiM: jackknife on the primary model, variance convergence (it may
+  // stop before the budget — that is the point).
+  {
+    core::DatasetEnvironment env(ds);
+    core::AcclaimAcquisition policy;
+    core::ActiveLearnerConfig cfg;
+    cfg.forest = forest;
+    cfg.max_points = budget;
+    core::ActiveLearner learner(c, space, env, policy, cfg);
+    const auto result = learner.run();
+    const double slow = ev.average_slowdown(test, result.model);
+    table.add_row({std::string("ACCLAiM") + (result.converged ? " (converged)" : ""),
+                   std::to_string(result.collected.size()),
+                   util::format_seconds(result.train_time_s), util::fixed(slow, 3),
+                   util::fixed(ev.optimal_rate(test,
+                                               [&](const bench::Scenario& s) {
+                                                 return result.model.select(s);
+                                               }) *
+                                   100,
+                               1) +
+                       "%"});
+  }
+
+  table.print(std::cout);
+  std::cout << "\n(1.000 = always picks the measured-optimal algorithm)\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: the ACCLAiM loop end to end on a small simulated cluster.
+//
+//   1. describe a machine and collect a benchmark dataset,
+//   2. train a collective-selection model with jackknife active learning,
+//   3. generate the MPICH-style selection rule file,
+//   4. select algorithms at "runtime" and compare with the static default.
+//
+// Runs in a few seconds. See autotune_job.cpp for the production-flow
+// example and compare_baselines.cpp for the prior-art comparison.
+#include <iostream>
+
+#include "benchdata/dataset.hpp"
+#include "core/acquisition.hpp"
+#include "core/active_learner.hpp"
+#include "core/evaluator.hpp"
+#include "core/heuristic.hpp"
+#include "core/rulegen.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace acclaim;
+
+int main() {
+  // ---- 1. a machine and a precollected dataset ---------------------------
+  simnet::MachineConfig machine = simnet::bebop_like();
+  machine.total_nodes = 16;  // keep the quickstart quick
+  const bench::FeatureGrid grid = bench::FeatureGrid::p2(16, 8, 64, 256 * 1024);
+  std::cout << "collecting " << grid.points(coll::Collective::Bcast).size()
+            << " bcast benchmark points on " << machine.name << "...\n";
+  const bench::Dataset dataset =
+      bench::precollect(machine, grid, {coll::Collective::Bcast}, /*seed=*/42);
+
+  // ---- 2. active learning with jackknife point selection -----------------
+  const core::FeatureSpace space = core::FeatureSpace::from_grid(grid);
+  core::DatasetEnvironment env(dataset);
+  core::AcclaimAcquisition policy;  // variance-guided + every-5th non-P2
+  core::ActiveLearnerConfig config;
+  config.forest.n_trees = 50;
+  core::ActiveLearner learner(coll::Collective::Bcast, space, env, policy, config);
+  const core::TrainingResult result = learner.run();
+  std::cout << "trained on " << result.collected.size() << " points ("
+            << util::format_seconds(result.train_time_s) << " of simulated collection), "
+            << (result.converged ? "variance-converged" : "stopped at cap") << "\n";
+
+  // ---- 3. the selection rule file ----------------------------------------
+  const core::RuleTable rules = core::RuleGenerator().generate(result.model, space);
+  const util::Json config_doc = core::rules_to_json({rules});
+  config_doc.dump_file("quickstart_tuning.json");
+  std::cout << "wrote quickstart_tuning.json ("
+            << core::rules_from_json(config_doc).size() << " collective(s))\n\n";
+
+  // ---- 4. runtime selection vs the static default ------------------------
+  const core::SelectionEngine engine = core::SelectionEngine::from_json(config_doc);
+  const core::Evaluator ev(dataset);
+  const auto test = space.scenarios(coll::Collective::Bcast);
+  util::TablePrinter table({"selector", "average slowdown vs optimal"});
+  table.add_row_numeric("MPICH default heuristic",
+                        {ev.average_slowdown(test, core::mpich_default_selection)}, 3);
+  table.add_row_numeric(
+      "ACCLAiM rules",
+      {ev.average_slowdown(test,
+                           [&](const bench::Scenario& s) { return engine.select(s); })},
+      3);
+  table.print(std::cout);
+
+  std::cout << "\nexample selections:\n";
+  for (std::uint64_t msg : {64ull, 4096ull, 262144ull}) {
+    const bench::Scenario s{coll::Collective::Bcast, 16, 8, msg};
+    std::cout << "  bcast " << util::format_bytes(msg) << " on 16x8 ranks -> "
+              << coll::algorithm_info(engine.select(s)).name << "\n";
+  }
+  return 0;
+}

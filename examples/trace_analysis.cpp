@@ -1,0 +1,122 @@
+// Trace analysis: profile an application's collective calls (the Fig. 4
+// methodology) and show what that implies for tuning — which scenarios the
+// application actually hits, how many are non-power-of-two, and how the
+// tuned rule file resolves them.
+//
+// Usage: trace_analysis [app-name] [scale-nodes]   (default: LAMMPS 128)
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/heuristic.hpp"
+#include "core/pipeline.hpp"
+#include "platform/app_model.hpp"
+#include "platform/trace_replay.hpp"
+#include "traces/traces.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace acclaim;
+
+int main(int argc, char** argv) {
+  const std::string app_name = argc > 1 ? argv[1] : "LAMMPS";
+  const int scale = argc > 2 ? std::stoi(argv[2]) : 128;
+
+  const traces::AppTraceSpec* spec = nullptr;
+  static const auto apps = traces::llnl_like_apps();
+  for (const auto& app : apps) {
+    if (app.name == app_name) {
+      spec = &app;
+    }
+  }
+  if (spec == nullptr) {
+    std::cerr << "unknown application '" << app_name << "'; available:";
+    for (const auto& app : apps) {
+      std::cerr << " " << app.name;
+    }
+    std::cerr << "\n";
+    return 1;
+  }
+
+  util::Rng rng(99);
+  const auto trace = traces::generate_trace(*spec, scale, 50000, rng);
+  const auto profile = traces::profile_trace(trace);
+  std::cout << app_name << " @ " << scale << " nodes: " << profile.total_calls
+            << " collective calls, " << util::fixed(profile.pct_nonp2, 1)
+            << "% non-power-of-two message sizes\n\n";
+
+  util::TablePrinter mix({"collective", "calls", "share"});
+  for (const auto& [c, n] : profile.calls_per_collective) {
+    mix.add_row({coll::collective_name(c), std::to_string(n),
+                 util::fixed(100.0 * static_cast<double>(n) /
+                                 static_cast<double>(profile.total_calls),
+                             1) +
+                     "%"});
+  }
+  mix.print(std::cout);
+
+  // Train rules for the collectives the trace actually uses (a 16-node job
+  // keeps the example fast), then resolve the trace's hottest sizes.
+  std::cout << "\ntraining selection rules for the traced collectives...\n";
+  core::JobSpec job;
+  for (const auto& [c, n] : profile.calls_per_collective) {
+    job.collectives.push_back(c);
+  }
+  job.nnodes = 16;
+  job.ppn = 8;
+  job.max_msg = 1 << 20;
+  job.job_seed = 7;
+  core::ActiveLearnerConfig learner;
+  learner.forest.n_trees = 50;
+  learner.max_points = 150;
+  const core::AcclaimPipeline pipeline(simnet::theta_like(), learner);
+  const core::PipelineResult result = pipeline.run(job);
+  const core::SelectionEngine engine = result.engine();
+
+  // Histogram the trace by (collective, size octave) and show selections.
+  std::map<std::pair<int, int>, std::size_t> hist;
+  for (const auto& call : trace) {
+    int octave = 0;
+    while ((1ull << (octave + 1)) <= call.msg_bytes) {
+      ++octave;
+    }
+    ++hist[{static_cast<int>(call.collective), octave}];
+  }
+  util::TablePrinter sel({"collective", "size bucket", "calls", "tuned selection",
+                          "default selection"});
+  for (const auto& [key, count] : hist) {
+    if (count < profile.total_calls / 50) {
+      continue;  // only the hot buckets
+    }
+    const auto c = static_cast<coll::Collective>(key.first);
+    const std::uint64_t msg = 1ull << key.second;
+    const bench::Scenario s{c, job.nnodes, job.ppn, msg};
+    sel.add_row({coll::collective_name(c),
+                 util::format_bytes(msg) + "-" + util::format_bytes(msg * 2),
+                 std::to_string(count), coll::algorithm_info(engine.select(s)).name,
+                 coll::algorithm_info(core::mpich_default_selection(s)).name});
+  }
+  std::cout << "\n";
+  sel.print(std::cout);
+
+  // Replay the whole trace under both selectors: what the tuned rules are
+  // worth for *this* application's call stream on this job's network.
+  const simnet::Topology& topo = pipeline.topology();
+  core::LiveEnvironment env(topo, result.allocation, result.job_seed);
+  const platform::TimeSource time_us = [&](const bench::Scenario& s, coll::Algorithm a) {
+    return env.measure(bench::BenchmarkPoint{s, a}).mean_us;
+  };
+  const auto tuned_r = platform::replay_trace(
+      trace, job.nnodes, job.ppn,
+      [&](const bench::Scenario& s) { return engine.select(s); }, time_us);
+  const auto default_r = platform::replay_trace(trace, job.nnodes, job.ppn,
+                                                core::mpich_default_selection, time_us);
+  std::cout << "\ntrace replay (" << tuned_r.calls << " calls, " << tuned_r.distinct_scenarios
+            << " distinct cells):\n  default selections: "
+            << util::format_seconds(default_r.total_s)
+            << "\n  tuned selections:   " << util::format_seconds(tuned_r.total_s)
+            << "  (" << util::fixed(default_r.total_s / tuned_r.total_s, 3) << "x)\n"
+            << "(total training cost for this job: "
+            << util::format_seconds(result.total_training_s) << ", simulated)\n";
+  return 0;
+}

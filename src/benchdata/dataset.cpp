@@ -1,0 +1,191 @@
+#include "benchdata/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <set>
+
+#include "simnet/allocation.hpp"
+#include "simnet/network.hpp"
+#include "simnet/topology.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace acclaim::bench {
+
+void Dataset::add(const BenchmarkPoint& point, const Measurement& m) {
+  data_[point] = m;
+}
+
+bool Dataset::contains(const BenchmarkPoint& point) const { return data_.count(point) > 0; }
+
+const Measurement& Dataset::at(const BenchmarkPoint& point) const {
+  const auto it = data_.find(point);
+  if (it == data_.end()) {
+    throw NotFoundError("dataset has no measurement for " + point.to_string());
+  }
+  return it->second;
+}
+
+std::vector<BenchmarkPoint> Dataset::points() const {
+  std::vector<BenchmarkPoint> out;
+  out.reserve(data_.size());
+  for (const auto& [p, m] : data_) {
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<BenchmarkPoint> Dataset::points(coll::Collective c) const {
+  std::vector<BenchmarkPoint> out;
+  for (const auto& [p, m] : data_) {
+    if (p.scenario.collective == c) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<Scenario> Dataset::scenarios(coll::Collective c) const {
+  std::set<Scenario> seen;
+  for (const auto& [p, m] : data_) {
+    if (p.scenario.collective == c) {
+      seen.insert(p.scenario);
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+std::vector<std::uint64_t> Dataset::message_sizes(coll::Collective c) const {
+  std::set<std::uint64_t> seen;
+  for (const auto& [p, m] : data_) {
+    if (p.scenario.collective == c) {
+      seen.insert(p.scenario.msg_bytes);
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+coll::Algorithm Dataset::best_algorithm(const Scenario& s) const {
+  coll::Algorithm best = coll::Algorithm::BcastBinomial;
+  double best_us = std::numeric_limits<double>::infinity();
+  for (coll::Algorithm a : coll::algorithms_for(s.collective)) {
+    const auto it = data_.find(BenchmarkPoint{s, a});
+    if (it != data_.end() && it->second.mean_us < best_us) {
+      best_us = it->second.mean_us;
+      best = a;
+    }
+  }
+  if (!std::isfinite(best_us)) {
+    throw NotFoundError("dataset has no measurements for scenario " + s.to_string());
+  }
+  return best;
+}
+
+double Dataset::best_time_us(const Scenario& s) const {
+  return at(BenchmarkPoint{s, best_algorithm(s)}).mean_us;
+}
+
+double Dataset::time_us(const Scenario& s, coll::Algorithm a) const {
+  return at(BenchmarkPoint{s, a}).mean_us;
+}
+
+double Dataset::total_collection_cost_s() const {
+  double t = 0.0;
+  for (const auto& [p, m] : data_) {
+    t += m.collect_cost_s;
+  }
+  return t;
+}
+
+void Dataset::save(const std::string& path) const {
+  util::CsvWriter w(path);
+  w.header({"collective", "algorithm", "nnodes", "ppn", "msg_bytes", "mean_us", "stddev_us",
+            "iterations", "collect_cost_s"});
+  for (const auto& [p, m] : data_) {
+    w.row({coll::collective_name(p.scenario.collective), coll::algorithm_info(p.algorithm).name,
+           std::to_string(p.scenario.nnodes), std::to_string(p.scenario.ppn),
+           std::to_string(p.scenario.msg_bytes), util::format_double(m.mean_us),
+           util::format_double(m.stddev_us), std::to_string(m.iterations),
+           util::format_double(m.collect_cost_s)});
+  }
+}
+
+Dataset Dataset::load(const std::string& path) {
+  const util::CsvTable t = util::read_csv(path);
+  const std::size_t c_coll = t.column_index("collective");
+  const std::size_t c_alg = t.column_index("algorithm");
+  const std::size_t c_nodes = t.column_index("nnodes");
+  const std::size_t c_ppn = t.column_index("ppn");
+  const std::size_t c_msg = t.column_index("msg_bytes");
+  const std::size_t c_mean = t.column_index("mean_us");
+  const std::size_t c_std = t.column_index("stddev_us");
+  const std::size_t c_iter = t.column_index("iterations");
+  const std::size_t c_cost = t.column_index("collect_cost_s");
+  Dataset ds;
+  for (const auto& row : t.rows) {
+    BenchmarkPoint p;
+    p.scenario.collective = coll::parse_collective(row[c_coll]);
+    p.algorithm = coll::parse_algorithm(p.scenario.collective, row[c_alg]);
+    p.scenario.nnodes = std::stoi(row[c_nodes]);
+    p.scenario.ppn = std::stoi(row[c_ppn]);
+    p.scenario.msg_bytes = std::stoull(row[c_msg]);
+    Measurement m;
+    m.mean_us = std::stod(row[c_mean]);
+    m.stddev_us = std::stod(row[c_std]);
+    m.iterations = std::stoi(row[c_iter]);
+    m.collect_cost_s = std::stod(row[c_cost]);
+    ds.add(p, m);
+  }
+  return ds;
+}
+
+Dataset precollect(const simnet::MachineConfig& machine, const FeatureGrid& grid,
+                   const std::vector<coll::Collective>& collectives, std::uint64_t seed,
+                   MicrobenchConfig config) {
+  require(!grid.nodes.empty() && !grid.ppns.empty() && !grid.msgs.empty(),
+          "precollect requires a non-empty grid");
+  const int max_nodes = *std::max_element(grid.nodes.begin(), grid.nodes.end());
+  require(max_nodes <= machine.total_nodes, "grid exceeds machine size");
+  const simnet::Topology topo(machine);
+  const simnet::NetworkModel net(topo, seed);
+  const Microbenchmark mb(net, config);
+  util::Rng rng(seed ^ 0xd1b54a32d192ed03ULL);
+  std::vector<int> ids(static_cast<std::size_t>(max_nodes));
+  for (int i = 0; i < max_nodes; ++i) {
+    ids[static_cast<std::size_t>(i)] = i;
+  }
+  const simnet::Allocation alloc(ids);
+
+  Dataset ds;
+  for (coll::Collective c : collectives) {
+    for (const BenchmarkPoint& point : grid.points(c)) {
+      util::Rng point_rng = rng.split();
+      ds.add(point, mb.run(point, alloc, point_rng));
+    }
+    util::log_info() << "precollected " << coll::collective_name(c) << " ("
+                     << grid.points(c).size() << " points)";
+  }
+  return ds;
+}
+
+Dataset load_or_collect(const std::string& path, const simnet::MachineConfig& machine,
+                        const FeatureGrid& grid, const std::vector<coll::Collective>& collectives,
+                        std::uint64_t seed, MicrobenchConfig config) {
+  if (std::filesystem::exists(path)) {
+    util::log_info() << "loading dataset from " << path;
+    return Dataset::load(path);
+  }
+  util::log_info() << "collecting dataset into " << path;
+  Dataset ds = precollect(machine, grid, collectives, seed, config);
+  const auto dir = std::filesystem::path(path).parent_path();
+  if (!dir.empty()) {
+    std::filesystem::create_directories(dir);
+  }
+  ds.save(path);
+  return ds;
+}
+
+}  // namespace acclaim::bench

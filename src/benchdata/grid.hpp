@@ -1,0 +1,48 @@
+// Feature grids: the enumerable slices of the feature space used for
+// precollection, training candidates, and test sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "benchdata/point.hpp"
+#include "util/rng.hpp"
+
+namespace acclaim::bench {
+
+/// Axis values for (nodes, ppn, message size). A grid does not itself fix
+/// the collective; scenarios()/points() take one.
+struct FeatureGrid {
+  std::vector<int> nodes;
+  std::vector<int> ppns;
+  std::vector<std::uint64_t> msgs;
+
+  /// Power-of-two grid: nodes 2..max_nodes, ppn 1..max_ppn, msg
+  /// min_msg..max_msg, all doubling.
+  static FeatureGrid p2(int max_nodes, int max_ppn, std::uint64_t min_msg,
+                        std::uint64_t max_msg);
+
+  /// Replaces every message size with a random non-power-of-two size whose
+  /// closest power of two is the original value (paper §III-B test sets).
+  FeatureGrid with_nonp2_msgs(util::Rng& rng) const;
+
+  /// Replaces every node count with a random non-power-of-two count whose
+  /// closest power of two is the original value (>= 2, <= max of grid).
+  FeatureGrid with_nonp2_nodes(util::Rng& rng) const;
+
+  /// All scenarios of this grid for one collective.
+  std::vector<Scenario> scenarios(coll::Collective c) const;
+
+  /// All (scenario x algorithm) points for one collective.
+  std::vector<BenchmarkPoint> points(coll::Collective c) const;
+
+  std::size_t scenario_count() const { return nodes.size() * ppns.size() * msgs.size(); }
+};
+
+/// A random non-power-of-two value v such that the closest power of two to v
+/// is `p2_anchor` (i.e. v in (3*p2/4, 3*p2/2) excluding p2 itself). This is
+/// the "message size between 6 and 12 that is not 8" rule of §IV-B.
+/// Requires p2_anchor >= 4 (below that no such integer exists).
+std::uint64_t random_nonp2_near(std::uint64_t p2_anchor, util::Rng& rng);
+
+}  // namespace acclaim::bench

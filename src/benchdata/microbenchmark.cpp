@@ -1,0 +1,89 @@
+#include "benchdata/microbenchmark.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "minimpi/cost_executor.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace acclaim::bench {
+
+int MicrobenchConfig::timed_iterations(std::uint64_t msg_bytes, double expected_us) const {
+  int tier = iters_large;
+  if (msg_bytes <= 8 * 1024) {
+    tier = iters_small;
+  } else if (msg_bytes <= 512 * 1024) {
+    tier = iters_medium;
+  }
+  if (expected_us > 0.0) {
+    const int by_time = static_cast<int>(max_timed_seconds * 1e6 / expected_us);
+    tier = std::min(tier, std::max(min_iterations, by_time));
+  }
+  return tier;
+}
+
+Microbenchmark::Microbenchmark(const simnet::NetworkModel& net, MicrobenchConfig config)
+    : net_(net), config_(config) {}
+
+namespace {
+
+double run_schedule_us(const simnet::NetworkModel& net, const BenchmarkPoint& point,
+                       const simnet::Allocation& alloc,
+                       const std::unordered_map<int, int>& rack_flows,
+                       const std::unordered_map<int, int>& pair_flows) {
+  const Scenario& s = point.scenario;
+  acclaim::require(alloc.num_nodes() >= s.nnodes,
+                   "allocation too small for benchmark: " + s.to_string());
+  const simnet::Allocation sub =
+      alloc.num_nodes() == s.nnodes ? alloc : alloc.slice(0, s.nnodes);
+  const minimpi::RankMap ranks(sub, s.ppn);
+  minimpi::CostExecutor cost(net, ranks);
+  cost.set_external_load(rack_flows, pair_flows);
+  coll::CollParams p;
+  p.nranks = s.nranks();
+  p.type_size = 1;  // message size is specified in bytes
+  p.count = s.msg_bytes;
+  coll::build_schedule(point.algorithm, p, cost);
+  return cost.elapsed_us();
+}
+
+}  // namespace
+
+double Microbenchmark::schedule_time_us(const BenchmarkPoint& point,
+                                        const simnet::Allocation& alloc) const {
+  return run_schedule_us(net_, point, alloc, {}, {});
+}
+
+Measurement Microbenchmark::run(const BenchmarkPoint& point, const simnet::Allocation& alloc,
+                                util::Rng& rng) const {
+  return run_with_load(point, alloc, {}, {}, rng);
+}
+
+Measurement Microbenchmark::run_with_load(const BenchmarkPoint& point,
+                                          const simnet::Allocation& alloc,
+                                          const std::unordered_map<int, int>& rack_flows,
+                                          const std::unordered_map<int, int>& pair_flows,
+                                          util::Rng& rng) const {
+  const double base_us = run_schedule_us(net_, point, alloc, rack_flows, pair_flows);
+  const int iters = config_.timed_iterations(point.scenario.msg_bytes, base_us);
+  const int warmup = static_cast<int>(std::ceil(config_.warmup_fraction * iters));
+
+  // The schedule time is deterministic for a fixed network; per-iteration
+  // variation is sampled as multiplicative lognormal noise.
+  util::RunningStat stat;
+  for (int i = 0; i < iters; ++i) {
+    stat.add(base_us * rng.lognormal_median(1.0, config_.noise_sigma));
+  }
+
+  Measurement m;
+  m.mean_us = stat.mean();
+  m.stddev_us = stat.stddev();
+  m.iterations = iters;
+  const double run_us = static_cast<double>(warmup + iters) * base_us;
+  m.collect_cost_s = config_.launch_base_s +
+                     config_.launch_per_rank_s * point.scenario.nranks() + run_us * 1e-6;
+  return m;
+}
+
+}  // namespace acclaim::bench

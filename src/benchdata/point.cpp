@@ -1,0 +1,16 @@
+#include "benchdata/point.hpp"
+
+#include "util/units.hpp"
+
+namespace acclaim::bench {
+
+std::string Scenario::to_string() const {
+  return std::string(coll::collective_name(collective)) + "(nodes=" + std::to_string(nnodes) +
+         ", ppn=" + std::to_string(ppn) + ", msg=" + util::format_bytes(msg_bytes) + ")";
+}
+
+std::string BenchmarkPoint::to_string() const {
+  return scenario.to_string() + "/" + coll::algorithm_info(algorithm).name;
+}
+
+}  // namespace acclaim::bench

@@ -1,0 +1,47 @@
+// Benchmark points and measurements — the unit of training data.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "collectives/types.hpp"
+
+namespace acclaim::bench {
+
+/// A tuning scenario: the three programmatic feature values of the paper
+/// (number of nodes, processes per node, message size) plus the collective.
+struct Scenario {
+  coll::Collective collective = coll::Collective::Bcast;
+  int nnodes = 1;
+  int ppn = 1;
+  std::uint64_t msg_bytes = 8;
+
+  int nranks() const { return nnodes * ppn; }
+  auto operator<=>(const Scenario&) const = default;
+
+  std::string to_string() const;
+};
+
+/// A scenario paired with the algorithm whose performance is being measured
+/// — one row of training data.
+struct BenchmarkPoint {
+  Scenario scenario;
+  coll::Algorithm algorithm = coll::Algorithm::BcastBinomial;
+
+  auto operator<=>(const BenchmarkPoint&) const = default;
+
+  std::string to_string() const;
+};
+
+/// The result of benchmarking one point.
+struct Measurement {
+  double mean_us = 0.0;    ///< average per-iteration collective latency
+  double stddev_us = 0.0;  ///< spread across timed iterations
+  int iterations = 0;      ///< timed iterations used
+  /// Wall-clock seconds this point cost to collect (launch overhead +
+  /// warmup + timed iterations). This is what training-time figures sum.
+  double collect_cost_s = 0.0;
+};
+
+}  // namespace acclaim::bench

@@ -1,0 +1,95 @@
+// MPI_Allgather schedule builders.
+//
+// ring: n-1 neighbor exchanges, bandwidth-optimal, insensitive to P2-ness.
+// recursive_doubling: log2(p) rounds for power-of-two rank counts; non-P2
+// counts pay fold/unfold rounds (the P2 cliff).
+// bruck: log2(p)-round store-and-forward using a staging buffer, any rank
+// count, plus a final local rotation.
+#include <algorithm>
+#include <vector>
+
+#include "collectives/builders.hpp"
+#include "util/rng.hpp"
+
+namespace acclaim::coll::detail {
+
+using minimpi::BufKind;
+using minimpi::Round;
+using minimpi::RoundSink;
+
+void build_allgather_ring(const CollParams& p, RoundSink& sink) {
+  copy_send_to_recv(p, /*at_own_offset=*/true, sink);
+  if (p.nranks == 1) {
+    return;
+  }
+  const RelMap rm{p.nranks, 0};
+  ring_allgather(rm, allgather_layout(p), BufKind::Recv, sink);
+}
+
+void build_allgather_recursive_doubling(const CollParams& p, RoundSink& sink) {
+  copy_send_to_recv(p, /*at_own_offset=*/true, sink);
+  const int n = p.nranks;
+  if (n == 1) {
+    return;
+  }
+  const BlockLayout layout = allgather_layout(p);
+  std::vector<IntervalSet> owned(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    owned[static_cast<std::size_t>(r)] = IntervalSet(Interval{layout.offset(r), layout.size(r)});
+  }
+  rdbl_allgather(RelMap{n, 0}, std::move(owned), BufKind::Recv, sink);
+}
+
+void build_allgather_bruck(const CollParams& p, RoundSink& sink) {
+  const int n = p.nranks;
+  const std::uint64_t bs = p.count * p.type_size;  // uniform block size
+  if (n == 1) {
+    Round round;
+    round.add(Round::copy(0, BufKind::Send, 0, 0, BufKind::Recv, 0, bs));
+    sink.on_round(round);
+    return;
+  }
+
+  // Step 0: every rank stages its own block at position 0 of Tmp.
+  {
+    Round round;
+    for (int r = 0; r < n; ++r) {
+      round.add(Round::copy(r, BufKind::Send, 0, r, BufKind::Tmp, 0, bs));
+    }
+    sink.on_round(round);
+  }
+
+  // Doubling store-and-forward: before the step with shift s, rank r holds
+  // blocks (r, r+1, ..., r+s-1) mod n at Tmp positions 0..s-1. It sends the
+  // first min(s, n-s) of them to rank (r - s) mod n, which appends them at
+  // position s.
+  for (int s = 1; s < n; s <<= 1) {
+    const int blocks = std::min(s, n - s);
+    Round round;
+    for (int r = 0; r < n; ++r) {
+      const int dst = ((r - s) % n + n) % n;
+      round.add(Round::copy(r, BufKind::Tmp, 0, dst, BufKind::Tmp,
+                            static_cast<std::uint64_t>(s) * bs,
+                            static_cast<std::uint64_t>(blocks) * bs));
+    }
+    sink.on_round(round);
+  }
+
+  // Final rotation: Tmp position j of rank r holds block (r + j) mod n; two
+  // coalesced local copies place everything at its Recv offset.
+  {
+    Round round;
+    for (int r = 0; r < n; ++r) {
+      const std::uint64_t head_blocks = static_cast<std::uint64_t>(n - r);
+      round.add(Round::copy(r, BufKind::Tmp, 0, r, BufKind::Recv,
+                            static_cast<std::uint64_t>(r) * bs, head_blocks * bs));
+      if (r > 0) {
+        round.add(Round::copy(r, BufKind::Tmp, head_blocks * bs, r, BufKind::Recv, 0,
+                              static_cast<std::uint64_t>(r) * bs));
+      }
+    }
+    sink.on_round(round);
+  }
+}
+
+}  // namespace acclaim::coll::detail

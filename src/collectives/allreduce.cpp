@@ -1,0 +1,161 @@
+// MPI_Allreduce schedule builders.
+//
+// recursive_doubling: log2(p) exchanges of the full vector — the
+// latency-optimal choice for small messages.
+// reduce_scatter_allgather (Rabenseifner): recursive-halving reduce-scatter
+// followed by a recursive-doubling allgather — bandwidth-optimal for large
+// messages. Both pay fold/unfold rounds on non-power-of-two rank counts.
+#include <algorithm>
+#include <vector>
+
+#include "collectives/builders.hpp"
+#include "util/rng.hpp"
+
+namespace acclaim::coll::detail {
+
+using minimpi::BufKind;
+using minimpi::Round;
+using minimpi::RoundSink;
+
+namespace {
+
+/// Shared non-P2 fold: among the first 2*rem ranks, odd ranks reduce their
+/// accumulator into the even rank below and drop out.
+void fold_extras(int rem, std::uint64_t bytes, RoundSink& sink) {
+  if (rem == 0) {
+    return;
+  }
+  Round fold;
+  for (int r = 1; r < 2 * rem; r += 2) {
+    fold.add(Round::combine(r, BufKind::Recv, 0, r - 1, BufKind::Recv, 0, bytes));
+  }
+  sink.on_round(fold);
+}
+
+/// Shared non-P2 unfold: participants return the finished vector to the
+/// dropped ranks.
+void unfold_extras(int rem, std::uint64_t bytes, RoundSink& sink) {
+  if (rem == 0) {
+    return;
+  }
+  Round unfold;
+  for (int r = 1; r < 2 * rem; r += 2) {
+    unfold.add(Round::copy(r - 1, BufKind::Recv, 0, r, BufKind::Recv, 0, bytes));
+  }
+  sink.on_round(unfold);
+}
+
+int actual_of_new(int v, int rem) { return v < rem ? 2 * v : v + rem; }
+
+}  // namespace
+
+void build_allreduce_recursive_doubling(const CollParams& p, RoundSink& sink) {
+  const int n = p.nranks;
+  const std::uint64_t bytes = p.count * p.type_size;
+  copy_send_to_recv(p, /*at_own_offset=*/false, sink);
+  if (n == 1) {
+    return;
+  }
+  const int pof2 = static_cast<int>(util::floor_power_of_two(static_cast<std::uint64_t>(n)));
+  const int rem = n - pof2;
+  fold_extras(rem, bytes, sink);
+  for (int mask = 1; mask < pof2; mask <<= 1) {
+    Round round;
+    for (int v = 0; v < pof2; ++v) {
+      const int partner = v ^ mask;
+      if (v < partner) {
+        // Both directions read the pre-round accumulators (sendrecv
+        // semantics), so a symmetric exchange with reduce is exact.
+        round.add(Round::combine(actual_of_new(v, rem), BufKind::Recv, 0,
+                                 actual_of_new(partner, rem), BufKind::Recv, 0, bytes));
+        round.add(Round::combine(actual_of_new(partner, rem), BufKind::Recv, 0,
+                                 actual_of_new(v, rem), BufKind::Recv, 0, bytes));
+      }
+    }
+    sink.on_round(round);
+  }
+  unfold_extras(rem, bytes, sink);
+}
+
+void build_allreduce_reduce_scatter_allgather(const CollParams& p, RoundSink& sink) {
+  const int n = p.nranks;
+  const std::uint64_t bytes = p.count * p.type_size;
+  copy_send_to_recv(p, /*at_own_offset=*/false, sink);
+  if (n == 1) {
+    return;
+  }
+  const int pof2 = static_cast<int>(util::floor_power_of_two(static_cast<std::uint64_t>(n)));
+  const int rem = n - pof2;
+  fold_extras(rem, bytes, sink);
+
+  // Recursive-halving reduce-scatter (identical structure to the reduce
+  // variant): participant v ends owning block v of a pof2-way layout.
+  const BlockLayout layout(p.count, p.type_size, pof2);
+  std::vector<int> lo(static_cast<std::size_t>(pof2), 0);
+  std::vector<int> hi(static_cast<std::size_t>(pof2), pof2);
+  for (int mask = pof2 >> 1; mask > 0; mask >>= 1) {
+    Round round;
+    for (int v = 0; v < pof2; ++v) {
+      const int partner = v ^ mask;
+      if (v > partner) {
+        continue;
+      }
+      const int mid = lo[static_cast<std::size_t>(v)] +
+                      (hi[static_cast<std::size_t>(v)] - lo[static_cast<std::size_t>(v)]) / 2;
+      const std::uint64_t lo_off = layout.offset(lo[static_cast<std::size_t>(v)]);
+      const std::uint64_t mid_off = layout.offset(mid);
+      const std::uint64_t hi_off = layout.offset(hi[static_cast<std::size_t>(v)]);
+      if (hi_off > mid_off) {
+        round.add(Round::combine(actual_of_new(v, rem), BufKind::Recv, mid_off,
+                                 actual_of_new(partner, rem), BufKind::Recv, mid_off,
+                                 hi_off - mid_off));
+      }
+      if (mid_off > lo_off) {
+        round.add(Round::combine(actual_of_new(partner, rem), BufKind::Recv, lo_off,
+                                 actual_of_new(v, rem), BufKind::Recv, lo_off,
+                                 mid_off - lo_off));
+      }
+      hi[static_cast<std::size_t>(v)] = mid;
+      lo[static_cast<std::size_t>(partner)] = mid;
+    }
+    if (!round.empty()) {
+      sink.on_round(round);
+    }
+  }
+
+  // Recursive-doubling allgather: ascending masks, aligned pairs swap their
+  // contiguous owned ranges; ranges double each round.
+  for (int mask = 1; mask < pof2; mask <<= 1) {
+    Round round;
+    for (int v = 0; v < pof2; ++v) {
+      const int partner = v ^ mask;
+      if (v > partner) {
+        continue;
+      }
+      const std::uint64_t v_lo = layout.offset(lo[static_cast<std::size_t>(v)]);
+      const std::uint64_t v_hi = layout.offset(hi[static_cast<std::size_t>(v)]);
+      const std::uint64_t p_lo = layout.offset(lo[static_cast<std::size_t>(partner)]);
+      const std::uint64_t p_hi = layout.offset(hi[static_cast<std::size_t>(partner)]);
+      if (v_hi > v_lo) {
+        round.add(Round::copy(actual_of_new(v, rem), BufKind::Recv, v_lo,
+                              actual_of_new(partner, rem), BufKind::Recv, v_lo, v_hi - v_lo));
+      }
+      if (p_hi > p_lo) {
+        round.add(Round::copy(actual_of_new(partner, rem), BufKind::Recv, p_lo,
+                              actual_of_new(v, rem), BufKind::Recv, p_lo, p_hi - p_lo));
+      }
+      const int new_lo = std::min(lo[static_cast<std::size_t>(v)],
+                                  lo[static_cast<std::size_t>(partner)]);
+      const int new_hi = std::max(hi[static_cast<std::size_t>(v)],
+                                  hi[static_cast<std::size_t>(partner)]);
+      lo[static_cast<std::size_t>(v)] = lo[static_cast<std::size_t>(partner)] = new_lo;
+      hi[static_cast<std::size_t>(v)] = hi[static_cast<std::size_t>(partner)] = new_hi;
+    }
+    if (!round.empty()) {
+      sink.on_round(round);
+    }
+  }
+  unfold_extras(rem, bytes, sink);
+}
+
+}  // namespace acclaim::coll::detail

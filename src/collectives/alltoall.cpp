@@ -1,0 +1,101 @@
+// MPI_Alltoall schedule builders.
+//
+// bruck: log2(p) store-and-forward rounds moving ~p/2 blocks each —
+// latency-optimal for small blocks; blocks travel multiple hops so total
+// traffic is ~log2(p)/2 x the direct algorithms'.
+// pairwise: p-1 rounds of single-block exchanges — XOR pairing on
+// power-of-two communicators (perfectly balanced bidirectional exchanges),
+// cyclic shifts otherwise (MPICH does the same).
+#include <algorithm>
+
+#include "collectives/builders.hpp"
+#include "util/rng.hpp"
+
+namespace acclaim::coll::detail {
+
+using minimpi::BufKind;
+using minimpi::Round;
+using minimpi::RoundSink;
+
+void build_alltoall_bruck(const CollParams& p, RoundSink& sink) {
+  const int n = p.nranks;
+  const std::uint64_t bs = p.count * p.type_size;
+  // Phase 1 — local rotation: Tmp position j <- Send block (r + j) mod n,
+  // so position j holds the data that must travel exactly j hops.
+  {
+    Round rot;
+    for (int r = 0; r < n; ++r) {
+      for (int j = 0; j < n; ++j) {
+        rot.add(Round::copy(r, BufKind::Send,
+                            static_cast<std::uint64_t>((r + j) % n) * bs, r, BufKind::Tmp,
+                            static_cast<std::uint64_t>(j) * bs, bs));
+      }
+    }
+    sink.on_round(rot);
+  }
+  // Phase 2 — for every bit k: all blocks whose position has bit k set
+  // advance 2^k ranks. Runs of set-bit positions are coalesced.
+  for (int s = 1; s < n; s <<= 1) {
+    Round round;
+    for (int r = 0; r < n; ++r) {
+      const int dst = (r + s) % n;
+      int j = 0;
+      while (j < n) {
+        if ((j & s) == 0) {
+          ++j;
+          continue;
+        }
+        int end = j;
+        while (end < n && (end & s) != 0) {
+          ++end;
+        }
+        round.add(Round::copy(r, BufKind::Tmp, static_cast<std::uint64_t>(j) * bs, dst,
+                              BufKind::Tmp, static_cast<std::uint64_t>(j) * bs,
+                              static_cast<std::uint64_t>(end - j) * bs));
+        j = end;
+      }
+    }
+    if (!round.empty()) {
+      sink.on_round(round);
+    }
+  }
+  // Phase 3 — inverse rotation: position j arrived from rank (r - j) mod n.
+  {
+    Round rot;
+    for (int r = 0; r < n; ++r) {
+      for (int j = 0; j < n; ++j) {
+        rot.add(Round::copy(r, BufKind::Tmp, static_cast<std::uint64_t>(j) * bs, r,
+                            BufKind::Recv,
+                            static_cast<std::uint64_t>(((r - j) % n + n) % n) * bs, bs));
+      }
+    }
+    sink.on_round(rot);
+  }
+}
+
+void build_alltoall_pairwise(const CollParams& p, RoundSink& sink) {
+  const int n = p.nranks;
+  const std::uint64_t bs = p.count * p.type_size;
+  // Own block first.
+  {
+    Round self;
+    for (int r = 0; r < n; ++r) {
+      self.add(Round::copy(r, BufKind::Send, static_cast<std::uint64_t>(r) * bs, r,
+                           BufKind::Recv, static_cast<std::uint64_t>(r) * bs, bs));
+    }
+    sink.on_round(self);
+  }
+  const bool p2 = util::is_power_of_two(static_cast<std::uint64_t>(n));
+  for (int k = 1; k < n; ++k) {
+    Round round;
+    for (int r = 0; r < n; ++r) {
+      // XOR pairing on P2 communicators; cyclic shift otherwise.
+      const int dst = p2 ? (r ^ k) : (r + k) % n;
+      round.add(Round::copy(r, BufKind::Send, static_cast<std::uint64_t>(dst) * bs, dst,
+                            BufKind::Recv, static_cast<std::uint64_t>(r) * bs, bs));
+    }
+    sink.on_round(round);
+  }
+}
+
+}  // namespace acclaim::coll::detail

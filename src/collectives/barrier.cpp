@@ -1,0 +1,75 @@
+// MPI_Barrier schedule builders.
+//
+// dissemination: ceil(log2 p) rounds; in round k every rank signals
+// (rank + 2^k) mod p — works for any rank count and is MPICH's default.
+// recursive_doubling: token exchanges between XOR partners; non-power-of-two
+// counts pay fold/unfold signal rounds, making it P2-favoring.
+//
+// Barriers move no payload; tokens are `count * type_size` bytes written at
+// offset 0 of Recv (callers normally use count = 1).
+#include "collectives/builders.hpp"
+#include "util/rng.hpp"
+
+namespace acclaim::coll::detail {
+
+using minimpi::BufKind;
+using minimpi::Round;
+using minimpi::RoundSink;
+
+void build_barrier_dissemination(const CollParams& p, RoundSink& sink) {
+  const int n = p.nranks;
+  if (n == 1) {
+    return;
+  }
+  const std::uint64_t token = p.count * p.type_size;
+  for (int s = 1; s < n; s <<= 1) {
+    Round round;
+    for (int r = 0; r < n; ++r) {
+      round.add(Round::copy(r, BufKind::Recv, 0, (r + s) % n, BufKind::Recv, 0, token));
+    }
+    sink.on_round(round);
+  }
+}
+
+void build_barrier_recursive_doubling(const CollParams& p, RoundSink& sink) {
+  const int n = p.nranks;
+  if (n == 1) {
+    return;
+  }
+  const std::uint64_t token = p.count * p.type_size;
+  const int pof2 = static_cast<int>(util::floor_power_of_two(static_cast<std::uint64_t>(n)));
+  const int rem = n - pof2;
+  auto actual_of_new = [&](int v) { return v < rem ? 2 * v : v + rem; };
+  // Fold: extras signal their partner (the partner must not proceed before
+  // the extra arrived).
+  if (rem > 0) {
+    Round fold;
+    for (int r = 1; r < 2 * rem; r += 2) {
+      fold.add(Round::copy(r, BufKind::Recv, 0, r - 1, BufKind::Recv, 0, token));
+    }
+    sink.on_round(fold);
+  }
+  for (int mask = 1; mask < pof2; mask <<= 1) {
+    Round round;
+    for (int v = 0; v < pof2; ++v) {
+      const int partner = v ^ mask;
+      if (v < partner) {
+        round.add(Round::copy(actual_of_new(v), BufKind::Recv, 0, actual_of_new(partner),
+                              BufKind::Recv, 0, token));
+        round.add(Round::copy(actual_of_new(partner), BufKind::Recv, 0, actual_of_new(v),
+                              BufKind::Recv, 0, token));
+      }
+    }
+    sink.on_round(round);
+  }
+  // Unfold: partners release the extras.
+  if (rem > 0) {
+    Round unfold;
+    for (int r = 1; r < 2 * rem; r += 2) {
+      unfold.add(Round::copy(r - 1, BufKind::Recv, 0, r, BufKind::Recv, 0, token));
+    }
+    sink.on_round(unfold);
+  }
+}
+
+}  // namespace acclaim::coll::detail

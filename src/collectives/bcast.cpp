@@ -1,0 +1,80 @@
+// MPI_Bcast schedule builders.
+//
+// Matches the MPICH algorithm family: binomial for small messages or small
+// communicators, scatter + recursive-doubling allgather for large messages on
+// power-of-two-friendly communicators, scatter + ring allgather for very
+// large messages (bandwidth-bound, insensitive to P2-ness).
+#include <vector>
+
+#include "collectives/builders.hpp"
+#include "util/rng.hpp"
+
+namespace acclaim::coll::detail {
+
+using minimpi::BufKind;
+using minimpi::Round;
+using minimpi::RoundSink;
+
+void build_bcast_binomial(const CollParams& p, RoundSink& sink) {
+  const int n = p.nranks;
+  if (n == 1) {
+    return;
+  }
+  const RelMap rm{n, p.root};
+  const std::uint64_t bytes = p.count * p.type_size;
+  // Level-synchronous binomial tree: with descending mask, every relative
+  // rank r with r % (2*mask) == 0 already holds the payload and forwards it
+  // to r + mask.
+  const auto top = util::ceil_power_of_two(static_cast<std::uint64_t>(n));
+  for (std::uint64_t mask = top / 2; mask >= 1; mask /= 2) {
+    Round round;
+    for (std::uint64_t r = 0; r + mask < static_cast<std::uint64_t>(n); r += 2 * mask) {
+      round.add(Round::copy(rm.actual(static_cast<int>(r)), BufKind::Recv, 0,
+                            rm.actual(static_cast<int>(r + mask)), BufKind::Recv, 0, bytes));
+    }
+    if (!round.empty()) {
+      sink.on_round(round);
+    }
+    if (mask == 1) {
+      break;
+    }
+  }
+}
+
+namespace {
+
+/// Initial per-relative-rank ownership after scatter_for_bcast: relative
+/// rank r holds block r.
+std::vector<IntervalSet> scatter_ownership(const BlockLayout& layout, int n) {
+  std::vector<IntervalSet> owned(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    owned[static_cast<std::size_t>(r)] = IntervalSet(Interval{layout.offset(r), layout.size(r)});
+  }
+  return owned;
+}
+
+}  // namespace
+
+void build_bcast_scatter_rdbl_allgather(const CollParams& p, RoundSink& sink) {
+  const int n = p.nranks;
+  if (n == 1) {
+    return;
+  }
+  const RelMap rm{n, p.root};
+  const BlockLayout layout(p.count, p.type_size, n);
+  scatter_for_bcast(rm, layout, sink);
+  rdbl_allgather(rm, scatter_ownership(layout, n), BufKind::Recv, sink);
+}
+
+void build_bcast_scatter_ring_allgather(const CollParams& p, RoundSink& sink) {
+  const int n = p.nranks;
+  if (n == 1) {
+    return;
+  }
+  const RelMap rm{n, p.root};
+  const BlockLayout layout(p.count, p.type_size, n);
+  scatter_for_bcast(rm, layout, sink);
+  ring_allgather(rm, layout, BufKind::Recv, sink);
+}
+
+}  // namespace acclaim::coll::detail

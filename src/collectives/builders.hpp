@@ -1,0 +1,103 @@
+// Internal shared machinery for the schedule builders.
+//
+// Not installed as public API: the public entry point is
+// coll::build_schedule() in types.hpp. Tests may include this header to
+// exercise the engines directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "collectives/intervals.hpp"
+#include "collectives/types.hpp"
+#include "minimpi/schedule.hpp"
+
+namespace acclaim::coll::detail {
+
+/// Rank renumbering that makes the root relative rank 0 (the standard MPICH
+/// trick for rooted collectives).
+struct RelMap {
+  int n = 1;
+  int root = 0;
+
+  int actual(int rel) const { return (rel + root) % n; }
+  int rel(int rank) const { return (rank - root + n) % n; }
+};
+
+/// Ceil-division layout of a `count`-element vector into `n` blocks of
+/// `type_size`-byte elements; trailing blocks may be short or empty.
+/// Block b spans bytes [offset(b), offset(b) + size(b)).
+struct BlockLayout {
+  BlockLayout(std::uint64_t count, std::uint64_t type_size, int n);
+
+  std::uint64_t offset(int b) const;
+  std::uint64_t size(int b) const;
+  std::uint64_t total_bytes() const { return count_ * type_size_; }
+  int blocks() const { return n_; }
+
+ private:
+  std::uint64_t count_;
+  std::uint64_t type_size_;
+  std::uint64_t block_elems_;
+  int n_;
+};
+
+/// Uniform layout for allgather: block b (owned by rank b) spans
+/// [b * count * ts, (b+1) * count * ts).
+BlockLayout allgather_layout(const CollParams& p);
+
+/// Binomial-tree scatter of the payload in Recv from relative rank 0 to all
+/// ranks' Recv, leaving relative rank r with block r of `layout`
+/// (MPIR_Scatter_for_bcast). Emits ceil(log2 n) rounds.
+void scatter_for_bcast(const RelMap& rm, const BlockLayout& layout, minimpi::RoundSink& sink);
+
+/// Recursive-doubling allgather over arbitrary per-rank interval ownership.
+/// `owned[rel]` is what relative rank `rel` initially holds in `buf`; on
+/// completion every rank holds the union. Non-power-of-two rank counts use a
+/// fold (extras hand their intervals to a partner first) and an unfold (the
+/// partner returns the full result), which is the source of the P2
+/// performance cliff the paper studies (§III-B).
+void rdbl_allgather(const RelMap& rm, std::vector<IntervalSet> owned, minimpi::BufKind buf,
+                    minimpi::RoundSink& sink);
+
+/// Ring allgather: n-1 rounds; relative rank r starts owning block r of
+/// `layout` in `buf` and forwards one block per round to relative rank r+1.
+void ring_allgather(const RelMap& rm, const BlockLayout& layout, minimpi::BufKind buf,
+                    minimpi::RoundSink& sink);
+
+/// One round of local Send -> Recv copies on all ranks (the accumulator
+/// initialization for reduce-style collectives). For allgather, pass
+/// `at_own_offset = true` to place each rank's contribution at its final
+/// destination offset.
+void copy_send_to_recv(const CollParams& p, bool at_own_offset, minimpi::RoundSink& sink);
+
+// Schedule builders registered in the registry.
+void build_bcast_binomial(const CollParams& p, minimpi::RoundSink& sink);
+void build_bcast_scatter_rdbl_allgather(const CollParams& p, minimpi::RoundSink& sink);
+void build_bcast_scatter_ring_allgather(const CollParams& p, minimpi::RoundSink& sink);
+void build_reduce_binomial(const CollParams& p, minimpi::RoundSink& sink);
+void build_reduce_scatter_gather(const CollParams& p, minimpi::RoundSink& sink);
+void build_allreduce_recursive_doubling(const CollParams& p, minimpi::RoundSink& sink);
+void build_allreduce_reduce_scatter_allgather(const CollParams& p, minimpi::RoundSink& sink);
+void build_allgather_ring(const CollParams& p, minimpi::RoundSink& sink);
+void build_allgather_recursive_doubling(const CollParams& p, minimpi::RoundSink& sink);
+void build_allgather_bruck(const CollParams& p, minimpi::RoundSink& sink);
+void build_gather_binomial(const CollParams& p, minimpi::RoundSink& sink);
+void build_gather_linear(const CollParams& p, minimpi::RoundSink& sink);
+void build_scatter_binomial(const CollParams& p, minimpi::RoundSink& sink);
+void build_scatter_linear(const CollParams& p, minimpi::RoundSink& sink);
+void build_alltoall_bruck(const CollParams& p, minimpi::RoundSink& sink);
+void build_alltoall_pairwise(const CollParams& p, minimpi::RoundSink& sink);
+void build_reduce_scatter_block_recursive_halving(const CollParams& p,
+                                                  minimpi::RoundSink& sink);
+void build_reduce_scatter_block_pairwise(const CollParams& p, minimpi::RoundSink& sink);
+void build_barrier_dissemination(const CollParams& p, minimpi::RoundSink& sink);
+void build_barrier_recursive_doubling(const CollParams& p, minimpi::RoundSink& sink);
+void build_bcast_smp_binomial(const CollParams& p, minimpi::RoundSink& sink);
+void build_reduce_smp_binomial(const CollParams& p, minimpi::RoundSink& sink);
+void build_allreduce_smp(const CollParams& p, minimpi::RoundSink& sink);
+void build_barrier_smp(const CollParams& p, minimpi::RoundSink& sink);
+void build_bcast_pipeline_chain(const CollParams& p, minimpi::RoundSink& sink);
+void build_reduce_pipeline_chain(const CollParams& p, minimpi::RoundSink& sink);
+
+}  // namespace acclaim::coll::detail

@@ -1,0 +1,176 @@
+// Shared schedule engines: scatter-for-bcast, recursive-doubling allgather
+// over interval sets, ring allgather, and the accumulator-initialization
+// round.
+#include <algorithm>
+
+#include "collectives/builders.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace acclaim::coll::detail {
+
+using minimpi::BufKind;
+using minimpi::Round;
+using minimpi::RoundSink;
+
+BlockLayout::BlockLayout(std::uint64_t count, std::uint64_t type_size, int n)
+    : count_(count), type_size_(type_size), n_(n) {
+  require(n >= 1, "BlockLayout requires n >= 1");
+  require(type_size >= 1, "BlockLayout requires type_size >= 1");
+  block_elems_ = (count + static_cast<std::uint64_t>(n) - 1) / static_cast<std::uint64_t>(n);
+}
+
+std::uint64_t BlockLayout::offset(int b) const {
+  require(b >= 0 && b <= n_, "block index out of range");
+  return std::min(static_cast<std::uint64_t>(b) * block_elems_, count_) * type_size_;
+}
+
+std::uint64_t BlockLayout::size(int b) const {
+  require(b >= 0 && b < n_, "block index out of range");
+  const std::uint64_t lo = std::min(static_cast<std::uint64_t>(b) * block_elems_, count_);
+  const std::uint64_t hi =
+      std::min((static_cast<std::uint64_t>(b) + 1) * block_elems_, count_);
+  return (hi - lo) * type_size_;
+}
+
+BlockLayout allgather_layout(const CollParams& p) {
+  // Uniform blocks: count elements per rank, laid out rank-major. With
+  // count*n total elements, ceil division gives exactly `count` per block.
+  return BlockLayout(p.count * static_cast<std::uint64_t>(p.nranks), p.type_size, p.nranks);
+}
+
+void scatter_for_bcast(const RelMap& rm, const BlockLayout& layout, RoundSink& sink) {
+  const int n = rm.n;
+  if (n == 1) {
+    return;
+  }
+  // Level-synchronous binomial scatter: at the round with the given mask,
+  // every relative rank r with r % (2*mask) == 0 holds blocks [r, r+2*mask)
+  // and sends the upper half [r+mask, r+2*mask) to r+mask.
+  const auto top = static_cast<std::uint64_t>(util::ceil_power_of_two(static_cast<std::uint64_t>(n)));
+  for (std::uint64_t mask = top / 2; mask >= 1; mask /= 2) {
+    Round round;
+    for (std::uint64_t r = 0; r + mask < static_cast<std::uint64_t>(n); r += 2 * mask) {
+      const int first = static_cast<int>(r + mask);
+      const int last = static_cast<int>(std::min(r + 2 * mask, static_cast<std::uint64_t>(n)));
+      const std::uint64_t off = layout.offset(first);
+      const std::uint64_t bytes = layout.offset(last) - off;
+      if (bytes == 0) {
+        continue;
+      }
+      round.add(Round::copy(rm.actual(static_cast<int>(r)), BufKind::Recv, off,
+                            rm.actual(first), BufKind::Recv, off, bytes));
+    }
+    if (!round.empty()) {
+      sink.on_round(round);
+    }
+    if (mask == 1) {
+      break;
+    }
+  }
+}
+
+void rdbl_allgather(const RelMap& rm, std::vector<IntervalSet> owned, BufKind buf,
+                    RoundSink& sink) {
+  const int n = rm.n;
+  require(static_cast<int>(owned.size()) == n, "rdbl_allgather: owned.size() must equal n");
+  if (n == 1) {
+    return;
+  }
+  const int pof2 = static_cast<int>(util::floor_power_of_two(static_cast<std::uint64_t>(n)));
+  const int rem = n - pof2;
+
+  auto send_set = [&](Round& round, int src_rel, int dst_rel, const IntervalSet& set) {
+    for (const Interval& iv : set.intervals()) {
+      round.add(Round::copy(rm.actual(src_rel), buf, iv.off, rm.actual(dst_rel), buf, iv.off,
+                            iv.bytes));
+    }
+  };
+
+  // Fold: extra ranks pof2+e hand their intervals to partner e.
+  if (rem > 0) {
+    Round fold;
+    for (int e = 0; e < rem; ++e) {
+      const int extra = pof2 + e;
+      send_set(fold, extra, e, owned[static_cast<std::size_t>(extra)]);
+      owned[static_cast<std::size_t>(e)].merge(owned[static_cast<std::size_t>(extra)]);
+    }
+    if (!fold.empty()) {
+      sink.on_round(fold);
+    }
+  }
+
+  // Recursive doubling among the pof2 participants: aligned pairs exchange
+  // everything they own; both sides end with the union.
+  for (int mask = 1; mask < pof2; mask <<= 1) {
+    Round round;
+    for (int r = 0; r < pof2; ++r) {
+      const int partner = r ^ mask;
+      // Emit each pair's two directions once (from the lower rank's view).
+      if (r < partner) {
+        send_set(round, r, partner, owned[static_cast<std::size_t>(r)]);
+        send_set(round, partner, r, owned[static_cast<std::size_t>(partner)]);
+      }
+    }
+    for (int r = 0; r < pof2; ++r) {
+      const int partner = r ^ mask;
+      if (r < partner) {
+        IntervalSet u = owned[static_cast<std::size_t>(r)];
+        u.merge(owned[static_cast<std::size_t>(partner)]);
+        owned[static_cast<std::size_t>(r)] = u;
+        owned[static_cast<std::size_t>(partner)] = std::move(u);
+      }
+    }
+    if (!round.empty()) {
+      sink.on_round(round);
+    }
+  }
+
+  // Unfold: partners return the complete result to the extras — a full-size
+  // extra send, the non-P2 penalty.
+  if (rem > 0) {
+    Round unfold;
+    for (int e = 0; e < rem; ++e) {
+      send_set(unfold, e, pof2 + e, owned[static_cast<std::size_t>(e)]);
+      owned[static_cast<std::size_t>(pof2 + e)] = owned[static_cast<std::size_t>(e)];
+    }
+    if (!unfold.empty()) {
+      sink.on_round(unfold);
+    }
+  }
+}
+
+void ring_allgather(const RelMap& rm, const BlockLayout& layout, BufKind buf, RoundSink& sink) {
+  const int n = rm.n;
+  if (n == 1) {
+    return;
+  }
+  for (int step = 0; step < n - 1; ++step) {
+    Round round;
+    for (int r = 0; r < n; ++r) {
+      // Relative rank r forwards the block it received `step` rounds ago.
+      const int block = ((r - step) % n + n) % n;
+      const std::uint64_t bytes = layout.size(block);
+      if (bytes == 0) {
+        continue;
+      }
+      round.add(Round::copy(rm.actual(r), buf, layout.offset(block), rm.actual((r + 1) % n), buf,
+                            layout.offset(block), bytes));
+    }
+    if (!round.empty()) {
+      sink.on_round(round);
+    }
+  }
+}
+
+void copy_send_to_recv(const CollParams& p, bool at_own_offset, RoundSink& sink) {
+  const std::uint64_t bytes = p.count * p.type_size;
+  Round round;
+  for (int r = 0; r < p.nranks; ++r) {
+    const std::uint64_t dst_off = at_own_offset ? static_cast<std::uint64_t>(r) * bytes : 0;
+    round.add(Round::copy(r, BufKind::Send, 0, r, BufKind::Recv, dst_off, bytes));
+  }
+  sink.on_round(round);
+}
+
+}  // namespace acclaim::coll::detail

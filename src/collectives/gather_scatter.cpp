@@ -1,0 +1,144 @@
+// MPI_Gather / MPI_Scatter schedule builders.
+//
+// binomial: the MPICH tree algorithm — log2(p) rounds with geometrically
+// growing (gather) or shrinking (scatter) payloads, staged in Tmp in
+// relative-rank order and rotated to/from the actual-rank layout at the
+// root.
+// linear: the direct algorithm — the root exchanges with every rank
+// individually; one conceptual round, serialized at the root's NIC by the
+// contention model. Competitive for small communicators / tiny payloads
+// where tree staging overhead dominates.
+#include <algorithm>
+
+#include "collectives/builders.hpp"
+#include "util/rng.hpp"
+
+namespace acclaim::coll::detail {
+
+using minimpi::BufKind;
+using minimpi::Round;
+using minimpi::RoundSink;
+
+namespace {
+
+/// Root-side rotation between relative-rank order (offset rel*bs) and
+/// actual-rank order (offset ((rel+root)%n)*bs). `to_actual` selects the
+/// direction. Emits one round of 1-2 local copies.
+void rotate_root(int root, int n, std::uint64_t bs, BufKind rel_buf, BufKind actual_buf,
+                 bool to_actual, RoundSink& sink) {
+  Round round;
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * bs;
+  if (root == 0) {
+    round.add(Round::copy(root, to_actual ? rel_buf : actual_buf, 0, root,
+                          to_actual ? actual_buf : rel_buf, 0, total));
+  } else {
+    // Relative block r lives at actual offset ((r+root) mod n): the first
+    // n-root relative blocks map to the tail, the rest wrap to the front.
+    const std::uint64_t head_blocks = static_cast<std::uint64_t>(n - root);
+    const std::uint64_t rel_split = head_blocks * bs;
+    const std::uint64_t act_off = static_cast<std::uint64_t>(root) * bs;
+    if (to_actual) {
+      round.add(Round::copy(root, rel_buf, 0, root, actual_buf, act_off, rel_split));
+      round.add(Round::copy(root, rel_buf, rel_split, root, actual_buf, 0, total - rel_split));
+    } else {
+      round.add(Round::copy(root, actual_buf, act_off, root, rel_buf, 0, rel_split));
+      round.add(Round::copy(root, actual_buf, 0, root, rel_buf, rel_split, total - rel_split));
+    }
+  }
+  sink.on_round(round);
+}
+
+}  // namespace
+
+void build_gather_binomial(const CollParams& p, RoundSink& sink) {
+  const int n = p.nranks;
+  const std::uint64_t bs = p.count * p.type_size;
+  const RelMap rm{n, p.root};
+  // Stage every rank's contribution at its relative slot of its own Tmp.
+  {
+    Round stage;
+    for (int r = 0; r < n; ++r) {
+      stage.add(Round::copy(rm.actual(r), BufKind::Send, 0, rm.actual(r), BufKind::Tmp,
+                            static_cast<std::uint64_t>(r) * bs, bs));
+    }
+    sink.on_round(stage);
+  }
+  // Ascending masks: a relative rank whose lowest set bit equals `mask`
+  // ships its accumulated contiguous range [r, min(r+mask, n)) to r - mask.
+  for (int mask = 1; mask < n; mask <<= 1) {
+    Round round;
+    for (int r = mask; r < n; r += 2 * mask) {
+      const int blocks = std::min(mask, n - r);
+      round.add(Round::copy(rm.actual(r), BufKind::Tmp, static_cast<std::uint64_t>(r) * bs,
+                            rm.actual(r - mask), BufKind::Tmp,
+                            static_cast<std::uint64_t>(r) * bs,
+                            static_cast<std::uint64_t>(blocks) * bs));
+    }
+    if (!round.empty()) {
+      sink.on_round(round);
+    }
+  }
+  // Root rotates the relative-rank staging into actual-rank order.
+  rotate_root(p.root, n, bs, BufKind::Tmp, BufKind::Recv, /*to_actual=*/true, sink);
+}
+
+void build_gather_linear(const CollParams& p, RoundSink& sink) {
+  const int n = p.nranks;
+  const std::uint64_t bs = p.count * p.type_size;
+  Round round;
+  for (int r = 0; r < n; ++r) {
+    // Everyone (root included) delivers straight into the root's Recv at
+    // its actual-rank offset; the contention model serializes the root NIC.
+    round.add(Round::copy(r, BufKind::Send, 0, p.root, BufKind::Recv,
+                          static_cast<std::uint64_t>(r) * bs, bs));
+  }
+  sink.on_round(round);
+}
+
+void build_scatter_binomial(const CollParams& p, RoundSink& sink) {
+  const int n = p.nranks;
+  const std::uint64_t bs = p.count * p.type_size;
+  const RelMap rm{n, p.root};
+  // Root rotates its actual-rank Send layout into relative order in Tmp.
+  rotate_root(p.root, n, bs, BufKind::Tmp, BufKind::Send, /*to_actual=*/false, sink);
+  // Descending masks: the holder of [r, r+2*mask) forwards the upper half.
+  const auto top = util::ceil_power_of_two(static_cast<std::uint64_t>(n));
+  for (std::uint64_t mask = top / 2; mask >= 1; mask /= 2) {
+    Round round;
+    for (std::uint64_t r = 0; r + mask < static_cast<std::uint64_t>(n); r += 2 * mask) {
+      const int first = static_cast<int>(r + mask);
+      const int blocks =
+          static_cast<int>(std::min(r + 2 * mask, static_cast<std::uint64_t>(n))) - first;
+      round.add(Round::copy(rm.actual(static_cast<int>(r)), BufKind::Tmp,
+                            static_cast<std::uint64_t>(first) * bs, rm.actual(first),
+                            BufKind::Tmp, static_cast<std::uint64_t>(first) * bs,
+                            static_cast<std::uint64_t>(blocks) * bs));
+    }
+    if (!round.empty()) {
+      sink.on_round(round);
+    }
+    if (mask == 1) {
+      break;
+    }
+  }
+  // Every rank lands its own block in Recv.
+  Round finish;
+  for (int r = 0; r < n; ++r) {
+    finish.add(Round::copy(rm.actual(r), BufKind::Tmp, static_cast<std::uint64_t>(r) * bs,
+                           rm.actual(r), BufKind::Recv, 0, bs));
+  }
+  sink.on_round(finish);
+}
+
+void build_scatter_linear(const CollParams& p, RoundSink& sink) {
+  const int n = p.nranks;
+  const std::uint64_t bs = p.count * p.type_size;
+  Round round;
+  for (int r = 0; r < n; ++r) {
+    round.add(Round::copy(p.root, BufKind::Send, static_cast<std::uint64_t>(r) * bs, r,
+                          BufKind::Recv, 0, bs));
+  }
+  sink.on_round(round);
+}
+
+}  // namespace acclaim::coll::detail

@@ -1,0 +1,58 @@
+#include "collectives/intervals.hpp"
+
+#include <algorithm>
+
+namespace acclaim::coll {
+
+IntervalSet::IntervalSet(Interval iv) {
+  if (iv.bytes > 0) {
+    ivs_.push_back(iv);
+  }
+}
+
+void IntervalSet::add(Interval iv) {
+  if (iv.bytes == 0) {
+    return;
+  }
+  ivs_.push_back(iv);
+  normalize();
+}
+
+void IntervalSet::merge(const IntervalSet& other) {
+  ivs_.insert(ivs_.end(), other.ivs_.begin(), other.ivs_.end());
+  normalize();
+}
+
+std::uint64_t IntervalSet::total_bytes() const noexcept {
+  std::uint64_t b = 0;
+  for (const Interval& iv : ivs_) {
+    b += iv.bytes;
+  }
+  return b;
+}
+
+bool IntervalSet::covers_exactly(std::uint64_t bytes) const {
+  return ivs_.size() == 1 && ivs_[0].off == 0 && ivs_[0].bytes == bytes;
+}
+
+void IntervalSet::normalize() {
+  if (ivs_.size() < 2) {
+    return;
+  }
+  std::sort(ivs_.begin(), ivs_.end(),
+            [](const Interval& a, const Interval& b) { return a.off < b.off; });
+  std::vector<Interval> merged;
+  merged.reserve(ivs_.size());
+  merged.push_back(ivs_[0]);
+  for (std::size_t i = 1; i < ivs_.size(); ++i) {
+    Interval& last = merged.back();
+    if (ivs_[i].off <= last.end()) {
+      last.bytes = std::max(last.end(), ivs_[i].end()) - last.off;
+    } else {
+      merged.push_back(ivs_[i]);
+    }
+  }
+  ivs_ = std::move(merged);
+}
+
+}  // namespace acclaim::coll

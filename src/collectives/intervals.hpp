@@ -1,0 +1,43 @@
+// Byte-interval sets used by the recursive-doubling allgather engine to
+// track which parts of the destination buffer each rank currently owns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace acclaim::coll {
+
+/// Half-open byte range [off, off + bytes).
+struct Interval {
+  std::uint64_t off = 0;
+  std::uint64_t bytes = 0;
+
+  std::uint64_t end() const noexcept { return off + bytes; }
+  bool operator==(const Interval&) const = default;
+};
+
+/// Sorted, coalesced set of disjoint intervals.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  explicit IntervalSet(Interval iv);
+
+  /// Adds a range and re-normalizes (sort + merge adjacent/overlapping).
+  void add(Interval iv);
+
+  /// Union with another set.
+  void merge(const IntervalSet& other);
+
+  const std::vector<Interval>& intervals() const noexcept { return ivs_; }
+  bool empty() const noexcept { return ivs_.empty(); }
+  std::uint64_t total_bytes() const noexcept;
+
+  /// True if the set is exactly [0, bytes).
+  bool covers_exactly(std::uint64_t bytes) const;
+
+ private:
+  void normalize();
+  std::vector<Interval> ivs_;
+};
+
+}  // namespace acclaim::coll

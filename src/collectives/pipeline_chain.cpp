@@ -1,0 +1,105 @@
+// Pipelined chain algorithms (experimental family).
+//
+// The message is split into fixed-size segments that flow down the rank
+// chain 0 -> 1 -> ... -> n-1 (relative to the root); while rank r forwards
+// segment k, rank r-1 already sends it segment k+1. With S segments the
+// schedule takes (n - 1) + (S - 1) rounds of one-segment hops instead of
+// binomial's log2(n) full-message hops — the classic large-message bcast
+// family (MPICH's pipelined chain / MVAPICH's "chain" algorithms).
+#include <algorithm>
+
+#include "collectives/builders.hpp"
+#include "util/rng.hpp"
+
+namespace acclaim::coll::detail {
+
+using minimpi::BufKind;
+using minimpi::Round;
+using minimpi::RoundSink;
+
+namespace {
+
+/// Segment layout: ceil split of `bytes` into segments of at most
+/// kSegmentBytes (at least one).
+constexpr std::uint64_t kSegmentBytes = 8192;
+
+struct Segments {
+  std::uint64_t seg_bytes = 0;
+  int count = 1;
+  std::uint64_t total = 0;
+
+  std::uint64_t offset(int s) const { return static_cast<std::uint64_t>(s) * seg_bytes; }
+  std::uint64_t size(int s) const {
+    const std::uint64_t lo = offset(s);
+    return std::min(seg_bytes, total - lo);
+  }
+};
+
+Segments make_segments(std::uint64_t bytes) {
+  Segments s;
+  s.total = bytes;
+  s.seg_bytes = std::min<std::uint64_t>(bytes, kSegmentBytes);
+  s.count = static_cast<int>((bytes + s.seg_bytes - 1) / s.seg_bytes);
+  return s;
+}
+
+}  // namespace
+
+void build_bcast_pipeline_chain(const CollParams& p, RoundSink& sink) {
+  const int n = p.nranks;
+  if (n == 1) {
+    return;
+  }
+  const RelMap rm{n, p.root};
+  const Segments seg = make_segments(p.count * p.type_size);
+  // Round t carries segment (t - r) over hop r -> r+1 wherever that segment
+  // index is valid: a classic space-time pipeline diagram.
+  const int rounds = (n - 1) + (seg.count - 1);
+  for (int t = 0; t < rounds; ++t) {
+    Round round;
+    for (int r = 0; r < n - 1; ++r) {
+      const int s = t - r;
+      if (s < 0 || s >= seg.count) {
+        continue;
+      }
+      round.add(Round::copy(rm.actual(r), BufKind::Recv, seg.offset(s), rm.actual(r + 1),
+                            BufKind::Recv, seg.offset(s), seg.size(s)));
+    }
+    if (!round.empty()) {
+      sink.on_round(round);
+    }
+  }
+}
+
+void build_reduce_pipeline_chain(const CollParams& p, RoundSink& sink) {
+  const int n = p.nranks;
+  const std::uint64_t bytes = p.count * p.type_size;
+  copy_send_to_recv(p, /*at_own_offset=*/false, sink);
+  if (n == 1) {
+    return;
+  }
+  // The chain runs from the far end toward the root: relative rank n-1
+  // starts; each hop reduces the incoming segment into the receiver's
+  // accumulator, so segments arrive at the root fully reduced.
+  const RelMap rm{n, p.root};
+  const Segments seg = make_segments(bytes);
+  const int rounds = (n - 1) + (seg.count - 1);
+  for (int t = 0; t < rounds; ++t) {
+    Round round;
+    for (int hop = 0; hop < n - 1; ++hop) {
+      // hop moves data from relative rank (n-1-hop) to (n-2-hop).
+      const int s = t - hop;
+      if (s < 0 || s >= seg.count) {
+        continue;
+      }
+      round.add(Round::combine(rm.actual(n - 1 - hop), BufKind::Recv, seg.offset(s),
+                               rm.actual(n - 2 - hop), BufKind::Recv, seg.offset(s),
+                               seg.size(s)));
+    }
+    if (!round.empty()) {
+      sink.on_round(round);
+    }
+  }
+}
+
+}  // namespace acclaim::coll::detail

@@ -1,0 +1,122 @@
+// MPI_Reduce schedule builders.
+//
+// binomial: reversed binomial tree, full vector per hop — latency-friendly,
+// works for any rank count without penalty.
+// reduce_scatter_gather: recursive-halving reduce-scatter followed by a
+// binomial gather to the root (MPICH's large-message algorithm for
+// commutative ops); non-power-of-two rank counts pay a fold round where the
+// excess ranks ship their whole vector to a partner.
+#include <vector>
+
+#include "collectives/builders.hpp"
+#include "util/rng.hpp"
+
+namespace acclaim::coll::detail {
+
+using minimpi::BufKind;
+using minimpi::Round;
+using minimpi::RoundSink;
+
+void build_reduce_binomial(const CollParams& p, RoundSink& sink) {
+  const int n = p.nranks;
+  const std::uint64_t bytes = p.count * p.type_size;
+  copy_send_to_recv(p, /*at_own_offset=*/false, sink);
+  if (n == 1) {
+    return;
+  }
+  const RelMap rm{n, p.root};
+  // Ascending masks: a relative rank whose lowest set bit equals `mask`
+  // reduces its accumulated vector into relative rank (r - mask).
+  for (int mask = 1; mask < n; mask <<= 1) {
+    Round round;
+    for (int r = mask; r < n; r += 2 * mask) {
+      round.add(Round::combine(rm.actual(r), BufKind::Recv, 0, rm.actual(r - mask),
+                               BufKind::Recv, 0, bytes));
+    }
+    if (!round.empty()) {
+      sink.on_round(round);
+    }
+  }
+}
+
+void build_reduce_scatter_gather(const CollParams& p, RoundSink& sink) {
+  const int n = p.nranks;
+  const std::uint64_t bytes = p.count * p.type_size;
+  copy_send_to_recv(p, /*at_own_offset=*/false, sink);
+  if (n == 1) {
+    return;
+  }
+  const RelMap rm{n, p.root};
+  const int pof2 = static_cast<int>(util::floor_power_of_two(static_cast<std::uint64_t>(n)));
+  const int rem = n - pof2;
+
+  // Fold: among the first 2*rem relative ranks, odd ranks reduce their whole
+  // vector into the even rank below and drop out. Participants get a compact
+  // renumbering `newrank` in [0, pof2).
+  if (rem > 0) {
+    Round fold;
+    for (int r = 1; r < 2 * rem; r += 2) {
+      fold.add(Round::combine(rm.actual(r), BufKind::Recv, 0, rm.actual(r - 1), BufKind::Recv, 0,
+                              bytes));
+    }
+    sink.on_round(fold);
+  }
+  auto actual_of_new = [&](int v) { return rm.actual(v < rem ? 2 * v : v + rem); };
+
+  // Recursive-halving reduce-scatter over pof2 blocks: at each descending
+  // mask, aligned pairs split their common range; each side reduces the half
+  // it keeps with the half the partner sends.
+  const BlockLayout layout(p.count, p.type_size, pof2);
+  std::vector<int> lo(static_cast<std::size_t>(pof2), 0);
+  std::vector<int> hi(static_cast<std::size_t>(pof2), pof2);
+  for (int mask = pof2 >> 1; mask > 0; mask >>= 1) {
+    Round round;
+    for (int v = 0; v < pof2; ++v) {
+      const int partner = v ^ mask;
+      if (v > partner) {
+        continue;
+      }
+      const int mid = lo[static_cast<std::size_t>(v)] +
+                      (hi[static_cast<std::size_t>(v)] - lo[static_cast<std::size_t>(v)]) / 2;
+      const std::uint64_t lo_off = layout.offset(lo[static_cast<std::size_t>(v)]);
+      const std::uint64_t mid_off = layout.offset(mid);
+      const std::uint64_t hi_off = layout.offset(hi[static_cast<std::size_t>(v)]);
+      // v keeps the lower half and receives it from partner; partner keeps
+      // the upper half and receives it from v.
+      if (hi_off > mid_off) {
+        round.add(Round::combine(actual_of_new(v), BufKind::Recv, mid_off, actual_of_new(partner),
+                                 BufKind::Recv, mid_off, hi_off - mid_off));
+      }
+      if (mid_off > lo_off) {
+        round.add(Round::combine(actual_of_new(partner), BufKind::Recv, lo_off, actual_of_new(v),
+                                 BufKind::Recv, lo_off, mid_off - lo_off));
+      }
+      hi[static_cast<std::size_t>(v)] = mid;
+      lo[static_cast<std::size_t>(partner)] = mid;
+    }
+    if (!round.empty()) {
+      sink.on_round(round);
+    }
+  }
+
+  // Binomial gather to newrank 0 (= the root): ascending masks; a
+  // participant whose lowest set bit equals `mask` ships its contiguous
+  // range to (v - mask) and drops out.
+  for (int mask = 1; mask < pof2; mask <<= 1) {
+    Round round;
+    for (int v = mask; v < pof2; v += 2 * mask) {
+      const std::uint64_t lo_off = layout.offset(lo[static_cast<std::size_t>(v)]);
+      const std::uint64_t hi_off = layout.offset(hi[static_cast<std::size_t>(v)]);
+      if (hi_off > lo_off) {
+        round.add(Round::copy(actual_of_new(v), BufKind::Recv, lo_off, actual_of_new(v - mask),
+                              BufKind::Recv, lo_off, hi_off - lo_off));
+      }
+      hi[static_cast<std::size_t>(v - mask)] = hi[static_cast<std::size_t>(v)];
+    }
+    if (!round.empty()) {
+      sink.on_round(round);
+    }
+  }
+}
+
+}  // namespace acclaim::coll::detail

@@ -1,0 +1,137 @@
+// MPI_Reduce_scatter_block schedule builders.
+//
+// recursive_halving: MPICH's commutative algorithm — log2(p) halving
+// exchanges over a partitioned accumulator. Non-power-of-two rank counts
+// fold the excess ranks into partners first (a full-vector reduce) and the
+// partner carries both target blocks through the halving — the familiar P2
+// cliff.
+// pairwise: p-1 cyclic rounds; each rank ships the source block destined
+// for its round partner straight out of its Send buffer — no staging,
+// insensitive to P2-ness, bandwidth-bound.
+#include <algorithm>
+#include <vector>
+
+#include "collectives/builders.hpp"
+#include "util/rng.hpp"
+
+namespace acclaim::coll::detail {
+
+using minimpi::BufKind;
+using minimpi::Round;
+using minimpi::RoundSink;
+
+void build_reduce_scatter_block_pairwise(const CollParams& p, RoundSink& sink) {
+  const int n = p.nranks;
+  const std::uint64_t bs = p.count * p.type_size;
+  // Own contribution first.
+  {
+    Round self;
+    for (int r = 0; r < n; ++r) {
+      self.add(Round::copy(r, BufKind::Send, static_cast<std::uint64_t>(r) * bs, r,
+                           BufKind::Recv, 0, bs));
+    }
+    sink.on_round(self);
+  }
+  for (int k = 1; k < n; ++k) {
+    Round round;
+    for (int r = 0; r < n; ++r) {
+      const int dst = (r + k) % n;
+      round.add(Round::combine(r, BufKind::Send, static_cast<std::uint64_t>(dst) * bs, dst,
+                               BufKind::Recv, 0, bs));
+    }
+    sink.on_round(round);
+  }
+}
+
+void build_reduce_scatter_block_recursive_halving(const CollParams& p, RoundSink& sink) {
+  const int n = p.nranks;
+  const std::uint64_t bs = p.count * p.type_size;
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * bs;
+  // Accumulator: full vector in Tmp on every rank.
+  {
+    Round stage;
+    for (int r = 0; r < n; ++r) {
+      stage.add(Round::copy(r, BufKind::Send, 0, r, BufKind::Tmp, 0, total));
+    }
+    sink.on_round(stage);
+  }
+  if (n == 1) {
+    Round finish;
+    finish.add(Round::copy(0, BufKind::Tmp, 0, 0, BufKind::Recv, 0, bs));
+    sink.on_round(finish);
+    return;
+  }
+  const int pof2 = static_cast<int>(util::floor_power_of_two(static_cast<std::uint64_t>(n)));
+  const int rem = n - pof2;
+
+  // Fold: odd ranks below 2*rem reduce their whole accumulator into the
+  // even rank and drop out; that partner now also owns the extra's block.
+  if (rem > 0) {
+    Round fold;
+    for (int r = 1; r < 2 * rem; r += 2) {
+      fold.add(Round::combine(r, BufKind::Tmp, 0, r - 1, BufKind::Tmp, 0, total));
+    }
+    sink.on_round(fold);
+  }
+  auto actual_of_new = [&](int v) { return v < rem ? 2 * v : v + rem; };
+  // Participant v is responsible for the contiguous actual-block range
+  // cuts[v]..cuts[v+1): two blocks when it absorbed an extra, one otherwise.
+  std::vector<int> cuts(static_cast<std::size_t>(pof2) + 1, 0);
+  for (int v = 0; v < pof2; ++v) {
+    cuts[static_cast<std::size_t>(v) + 1] =
+        cuts[static_cast<std::size_t>(v)] + (v < rem ? 2 : 1);
+  }
+
+  // Recursive halving over participant ranges [lo, hi) in participant
+  // units; byte boundaries come from the cuts.
+  std::vector<int> lo(static_cast<std::size_t>(pof2), 0);
+  std::vector<int> hi(static_cast<std::size_t>(pof2), pof2);
+  auto off = [&](int participant) {
+    return static_cast<std::uint64_t>(cuts[static_cast<std::size_t>(participant)]) * bs;
+  };
+  for (int mask = pof2 >> 1; mask > 0; mask >>= 1) {
+    Round round;
+    for (int v = 0; v < pof2; ++v) {
+      const int partner = v ^ mask;
+      if (v > partner) {
+        continue;
+      }
+      const int mid = lo[static_cast<std::size_t>(v)] +
+                      (hi[static_cast<std::size_t>(v)] - lo[static_cast<std::size_t>(v)]) / 2;
+      const std::uint64_t lo_off = off(lo[static_cast<std::size_t>(v)]);
+      const std::uint64_t mid_off = off(mid);
+      const std::uint64_t hi_off = off(hi[static_cast<std::size_t>(v)]);
+      if (hi_off > mid_off) {
+        round.add(Round::combine(actual_of_new(v), BufKind::Tmp, mid_off,
+                                 actual_of_new(partner), BufKind::Tmp, mid_off,
+                                 hi_off - mid_off));
+      }
+      if (mid_off > lo_off) {
+        round.add(Round::combine(actual_of_new(partner), BufKind::Tmp, lo_off,
+                                 actual_of_new(v), BufKind::Tmp, lo_off, mid_off - lo_off));
+      }
+      hi[static_cast<std::size_t>(v)] = mid;
+      lo[static_cast<std::size_t>(partner)] = mid;
+    }
+    if (!round.empty()) {
+      sink.on_round(round);
+    }
+  }
+
+  // Delivery: participant v holds the fully reduced range cuts[v]..cuts[v+1).
+  // Its own block lands locally; an absorbed extra's block is sent to it.
+  Round deliver;
+  for (int v = 0; v < pof2; ++v) {
+    const int a = actual_of_new(v);
+    deliver.add(Round::copy(a, BufKind::Tmp, static_cast<std::uint64_t>(a) * bs, a,
+                            BufKind::Recv, 0, bs));
+    if (v < rem) {
+      const int extra = 2 * v + 1;
+      deliver.add(Round::copy(a, BufKind::Tmp, static_cast<std::uint64_t>(extra) * bs, extra,
+                              BufKind::Recv, 0, bs));
+    }
+  }
+  sink.on_round(deliver);
+}
+
+}  // namespace acclaim::coll::detail

@@ -1,0 +1,215 @@
+// SMP-aware (hierarchical) collective algorithms.
+//
+// Real MPI libraries exploit the node hierarchy: reduce within each node to
+// a per-node leader over shared memory, run the expensive inter-node phase
+// over leaders only, then fan back out within the node. These algorithms
+// assume the block rank-to-node mapping (rank r on node r/ppn) that our
+// RankMap also uses, so their intra-node rounds really do hit the cheap
+// shared-memory link class in the cost model.
+//
+// The family is registered as experimental (disabled-by-default CVAR in
+// MPICH terms): the paper's evaluation does not include SMP algorithms, so
+// the figure benches keep the published algorithm set, while tests and the
+// ext_smp bench exercise these.
+#include <algorithm>
+
+#include "collectives/builders.hpp"
+#include "util/rng.hpp"
+
+namespace acclaim::coll::detail {
+
+using minimpi::BufKind;
+using minimpi::Round;
+using minimpi::RoundSink;
+
+namespace {
+
+/// Ranks of a node, [leader, leader + size).
+struct NodeSpan {
+  int leader = 0;
+  int size = 1;
+};
+
+NodeSpan node_span(const CollParams& p, int node) {
+  NodeSpan s;
+  s.leader = p.leader_of(node);
+  s.size = std::min(p.ppn, p.nranks - s.leader);
+  return s;
+}
+
+/// Intra-node binomial bcast from each node's leader, all nodes concurrent.
+/// Data lives in `buf` at offset 0 (`bytes` long).
+void intra_node_bcast(const CollParams& p, BufKind buf, std::uint64_t bytes, RoundSink& sink) {
+  const int max_span = std::min(p.ppn, p.nranks);
+  const auto top = util::ceil_power_of_two(static_cast<std::uint64_t>(std::max(1, max_span)));
+  for (std::uint64_t mask = top / 2; mask >= 1; mask /= 2) {
+    Round round;
+    for (int node = 0; node < p.num_nodes(); ++node) {
+      const NodeSpan span = node_span(p, node);
+      for (std::uint64_t r = 0; r + mask < static_cast<std::uint64_t>(span.size);
+           r += 2 * mask) {
+        round.add(Round::copy(span.leader + static_cast<int>(r), buf, 0,
+                              span.leader + static_cast<int>(r + mask), buf, 0, bytes));
+      }
+    }
+    if (!round.empty()) {
+      sink.on_round(round);
+    }
+    if (mask == 1) {
+      break;
+    }
+  }
+}
+
+/// Intra-node binomial reduce into each node's leader (accumulators in
+/// Recv), all nodes concurrent.
+void intra_node_reduce(const CollParams& p, std::uint64_t bytes, RoundSink& sink) {
+  const int max_span = std::min(p.ppn, p.nranks);
+  for (int mask = 1; mask < max_span; mask <<= 1) {
+    Round round;
+    for (int node = 0; node < p.num_nodes(); ++node) {
+      const NodeSpan span = node_span(p, node);
+      for (int r = mask; r < span.size; r += 2 * mask) {
+        round.add(Round::combine(span.leader + r, BufKind::Recv, 0, span.leader + (r - mask),
+                                 BufKind::Recv, 0, bytes));
+      }
+    }
+    if (!round.empty()) {
+      sink.on_round(round);
+    }
+  }
+}
+
+/// Inter-node binomial bcast over leaders, rooted at `root_node`.
+void leader_bcast(const CollParams& p, int root_node, BufKind buf, std::uint64_t bytes,
+                  RoundSink& sink) {
+  const int m = p.num_nodes();
+  if (m == 1) {
+    return;
+  }
+  const auto top = util::ceil_power_of_two(static_cast<std::uint64_t>(m));
+  auto actual = [&](int rel) { return p.leader_of((rel + root_node) % m); };
+  for (std::uint64_t mask = top / 2; mask >= 1; mask /= 2) {
+    Round round;
+    for (std::uint64_t r = 0; r + mask < static_cast<std::uint64_t>(m); r += 2 * mask) {
+      round.add(Round::copy(actual(static_cast<int>(r)), buf, 0,
+                            actual(static_cast<int>(r + mask)), buf, 0, bytes));
+    }
+    if (!round.empty()) {
+      sink.on_round(round);
+    }
+    if (mask == 1) {
+      break;
+    }
+  }
+}
+
+/// Inter-node binomial reduce over leaders into `root_node`'s leader.
+void leader_reduce(const CollParams& p, int root_node, std::uint64_t bytes, RoundSink& sink) {
+  const int m = p.num_nodes();
+  auto actual = [&](int rel) { return p.leader_of((rel + root_node) % m); };
+  for (int mask = 1; mask < m; mask <<= 1) {
+    Round round;
+    for (int r = mask; r < m; r += 2 * mask) {
+      round.add(Round::combine(actual(r), BufKind::Recv, 0, actual(r - mask), BufKind::Recv, 0,
+                               bytes));
+    }
+    if (!round.empty()) {
+      sink.on_round(round);
+    }
+  }
+}
+
+}  // namespace
+
+void build_bcast_smp_binomial(const CollParams& p, RoundSink& sink) {
+  const std::uint64_t bytes = p.count * p.type_size;
+  const int root_node = p.node_of(p.root);
+  // Hand the payload to the root node's leader if the root is not it.
+  if (p.root != p.leader_of(root_node)) {
+    Round round;
+    round.add(Round::copy(p.root, BufKind::Recv, 0, p.leader_of(root_node), BufKind::Recv, 0,
+                          bytes));
+    sink.on_round(round);
+  }
+  leader_bcast(p, root_node, BufKind::Recv, bytes, sink);
+  intra_node_bcast(p, BufKind::Recv, bytes, sink);
+}
+
+void build_reduce_smp_binomial(const CollParams& p, RoundSink& sink) {
+  const std::uint64_t bytes = p.count * p.type_size;
+  copy_send_to_recv(p, /*at_own_offset=*/false, sink);
+  intra_node_reduce(p, bytes, sink);
+  const int root_node = p.node_of(p.root);
+  leader_reduce(p, root_node, bytes, sink);
+  // The result sits at the root node's leader; move it to the root proper.
+  if (p.root != p.leader_of(root_node)) {
+    Round round;
+    round.add(Round::copy(p.leader_of(root_node), BufKind::Recv, 0, p.root, BufKind::Recv, 0,
+                          bytes));
+    sink.on_round(round);
+  }
+}
+
+void build_allreduce_smp(const CollParams& p, RoundSink& sink) {
+  const std::uint64_t bytes = p.count * p.type_size;
+  copy_send_to_recv(p, /*at_own_offset=*/false, sink);
+  intra_node_reduce(p, bytes, sink);
+  // Leaders run a flat recursive-doubling allreduce on their node sums.
+  const int m = p.num_nodes();
+  if (m > 1) {
+    const int pof2 = static_cast<int>(util::floor_power_of_two(static_cast<std::uint64_t>(m)));
+    const int rem = m - pof2;
+    auto leader_of_new = [&](int v) { return p.leader_of(v < rem ? 2 * v : v + rem); };
+    if (rem > 0) {
+      Round fold;
+      for (int r = 1; r < 2 * rem; r += 2) {
+        fold.add(Round::combine(p.leader_of(r), BufKind::Recv, 0, p.leader_of(r - 1),
+                                BufKind::Recv, 0, bytes));
+      }
+      sink.on_round(fold);
+    }
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      Round round;
+      for (int v = 0; v < pof2; ++v) {
+        const int partner = v ^ mask;
+        if (v < partner) {
+          round.add(Round::combine(leader_of_new(v), BufKind::Recv, 0, leader_of_new(partner),
+                                   BufKind::Recv, 0, bytes));
+          round.add(Round::combine(leader_of_new(partner), BufKind::Recv, 0, leader_of_new(v),
+                                   BufKind::Recv, 0, bytes));
+        }
+      }
+      sink.on_round(round);
+    }
+    if (rem > 0) {
+      Round unfold;
+      for (int r = 1; r < 2 * rem; r += 2) {
+        unfold.add(Round::copy(p.leader_of(r - 1), BufKind::Recv, 0, p.leader_of(r),
+                               BufKind::Recv, 0, bytes));
+      }
+      sink.on_round(unfold);
+    }
+  }
+  intra_node_bcast(p, BufKind::Recv, bytes, sink);
+}
+
+void build_barrier_smp(const CollParams& p, RoundSink& sink) {
+  const std::uint64_t token = p.count * p.type_size;
+  // Gather signals to leaders, disseminate across leaders, release.
+  intra_node_reduce(p, token, sink);
+  const int m = p.num_nodes();
+  if (m > 1) {
+    for (int s = 1; s < m; s <<= 1) {
+      Round round;
+      for (int node = 0; node < m; ++node) {
+        round.add(Round::copy(p.leader_of(node), BufKind::Recv, 0,
+                              p.leader_of((node + s) % m), BufKind::Recv, 0, token));
+      }
+      sink.on_round(round);
+    }
+  }
+  intra_node_bcast(p, BufKind::Recv, token, sink);
+}
+
+}  // namespace acclaim::coll::detail

@@ -1,0 +1,135 @@
+#include "core/acquisition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace acclaim::core {
+
+void AcquisitionPolicy::observe(const bench::BenchmarkPoint&, double) {}
+
+std::vector<std::size_t> AcquisitionPolicy::rank(const CollectiveModel&,
+                                                 const std::vector<bench::BenchmarkPoint>&) const {
+  return {};
+}
+
+AcquisitionPolicy::Pick RandomAcquisition::next(const CollectiveModel&,
+                                                const std::vector<bench::BenchmarkPoint>& pool,
+                                                TuningEnvironment&, util::Rng& rng) {
+  require(!pool.empty(), "acquisition requires a non-empty pool");
+  const std::size_t i = rng.index(pool.size());
+  return {i, pool[i]};
+}
+
+namespace {
+
+/// Shared variance-to-pick logic for both variance-guided policies.
+std::size_t pick_by_variance(const CollectiveModel& model,
+                             const std::vector<bench::BenchmarkPoint>& pool, VariancePick mode,
+                             util::Rng& rng) {
+  if (mode == VariancePick::Argmax) {
+    std::size_t best = 0;
+    double best_var = -1.0;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      const double v = model.jackknife_variance(pool[i]);
+      if (v > best_var) {
+        best_var = v;
+        best = i;
+      }
+    }
+    return best;
+  }
+  // Weighted sampling: probability proportional to jackknife variance.
+  std::vector<double> w(pool.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    w[i] = model.jackknife_variance(pool[i]) + 1e-12;
+    total += w[i];
+  }
+  double pick = rng.uniform(0.0, total);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (pick < w[i]) {
+      return i;
+    }
+    pick -= w[i];
+  }
+  return pool.size() - 1;
+}
+
+}  // namespace
+
+AcclaimAcquisition::AcclaimAcquisition(AcclaimAcquisitionConfig config) : config_(config) {}
+
+std::vector<std::size_t> AcclaimAcquisition::rank(
+    const CollectiveModel& model, const std::vector<bench::BenchmarkPoint>& pool) const {
+  if (!model.trained()) {
+    return {};
+  }
+  std::vector<double> var(pool.size(), 0.0);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    var[i] = model.jackknife_variance(pool[i]);
+  }
+  std::vector<std::size_t> order(pool.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return var[a] > var[b]; });
+  return order;
+}
+
+AcquisitionPolicy::Pick AcclaimAcquisition::next(const CollectiveModel& model,
+                                                 const std::vector<bench::BenchmarkPoint>& pool,
+                                                 TuningEnvironment& env, util::Rng& rng) {
+  require(!pool.empty(), "acquisition requires a non-empty pool");
+  ++picks_;
+  const std::size_t best =
+      model.trained() ? pick_by_variance(model, pool, config_.pick, rng) : rng.index(pool.size());
+  bench::BenchmarkPoint point = pool[best];
+  const bool nonp2_turn = config_.nonp2_cadence > 0 && picks_ % config_.nonp2_cadence == 0;
+  if (nonp2_turn) {
+    // Swap the message size for a random non-P2 size whose closest P2 value
+    // is the selected one (§IV-B).
+    if (const auto m = env.nonp2_msg_near(point.scenario.msg_bytes, rng)) {
+      point.scenario.msg_bytes = *m;
+    }
+  }
+  return {best, point};
+}
+
+SurrogateAcquisition::SurrogateAcquisition(coll::Collective c, std::uint64_t seed,
+                                           SurrogateAcquisitionConfig config)
+    : surrogate_(c, config.surrogate), config_(config), seed_(seed) {
+  require(config_.refresh_every >= 1, "surrogate refresh_every must be >= 1");
+}
+
+void SurrogateAcquisition::observe(const bench::BenchmarkPoint& point, double time_us) {
+  seen_.push_back({point, time_us});
+  ++since_refresh_;
+}
+
+void SurrogateAcquisition::maybe_refresh() {
+  if (seen_.empty()) {
+    return;
+  }
+  if (!surrogate_.trained() || since_refresh_ >= config_.refresh_every) {
+    surrogate_.fit(seen_, seed_ + static_cast<std::uint64_t>(trainings_));
+    ++trainings_;
+    since_refresh_ = 0;
+  }
+}
+
+AcquisitionPolicy::Pick SurrogateAcquisition::next(
+    const CollectiveModel& /*primary — deliberately unused: FACT's selections
+                             are blind to the model they serve (§III-A)*/,
+    const std::vector<bench::BenchmarkPoint>& pool, TuningEnvironment&, util::Rng& rng) {
+  require(!pool.empty(), "acquisition requires a non-empty pool");
+  maybe_refresh();
+  if (!surrogate_.trained()) {
+    const std::size_t i = rng.index(pool.size());
+    return {i, pool[i]};
+  }
+  const std::size_t best = pick_by_variance(surrogate_, pool, config_.pick, rng);
+  return {best, pool[best]};
+}
+
+}  // namespace acclaim::core

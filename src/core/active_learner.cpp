@@ -1,0 +1,159 @@
+#include "core/active_learner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace acclaim::core {
+
+ActiveLearner::ActiveLearner(coll::Collective collective, const FeatureSpace& space,
+                             TuningEnvironment& env, AcquisitionPolicy& policy,
+                             ActiveLearnerConfig config)
+    : collective_(collective), space_(space), env_(env), policy_(policy), config_(config) {
+  require(config_.seed_points >= 1, "need at least one seed point");
+  require(config_.refit_every >= 1, "refit_every must be >= 1");
+  require(config_.patience >= 1, "patience must be >= 1");
+}
+
+void ActiveLearner::set_monitor(std::function<double(const CollectiveModel&)> probe) {
+  monitor_ = std::move(probe);
+}
+
+TrainingResult ActiveLearner::run() {
+  const std::vector<bench::BenchmarkPoint> candidates = space_.candidates(collective_);
+  std::vector<bench::BenchmarkPoint> pool = candidates;
+  const std::size_t cap = config_.max_points < 0
+                              ? candidates.size()
+                              : std::min<std::size_t>(candidates.size(),
+                                                      static_cast<std::size_t>(config_.max_points));
+
+  TrainingResult result;
+  result.model = CollectiveModel(collective_, config_.forest);
+  util::Rng rng(config_.seed);
+  const double clock_start_s = env_.clock_s();
+
+  // Convergence state: an exponential moving average smooths the cumulative
+  // variance; the criterion compares the smoothed value against its value
+  // `patience` iterations earlier.
+  double ema = -1.0;
+  std::vector<double> ema_history;
+  int calm_iters = 0;
+  std::size_t points_at_last_fit = 0;
+  int nonp2_counter = 0;
+
+  const CollectionScheduler scheduler(
+      CollectionSchedulerConfig{config_.topology_aware, 1 << 20});
+  const bool can_parallel = config_.parallel_collection && env_.topology() != nullptr &&
+                            env_.allocation() != nullptr;
+
+  auto refit = [&](bool force) {
+    const bool due = result.collected.size() >= points_at_last_fit +
+                                                    static_cast<std::size_t>(config_.refit_every);
+    if (result.collected.size() >= static_cast<std::size_t>(config_.seed_points) &&
+        (force || due)) {
+      // A constant seed keeps consecutive refits highly correlated (most
+      // bootstrap draws coincide), so the cumulative-variance signal tracks
+      // the *data*, not resampling jitter.
+      result.model.fit(result.collected, config_.seed);
+      points_at_last_fit = result.collected.size();
+    }
+  };
+
+  while (!pool.empty() && result.collected.size() < cap) {
+    ++result.iterations;
+    int batch_size = 1;
+    bool collected_this_iter = false;
+
+    if (can_parallel && result.model.trained()) {
+      const std::vector<std::size_t> ranked = policy_.rank(result.model, pool);
+      if (!ranked.empty()) {
+        CollectionBatch batch =
+            scheduler.plan(pool, ranked, *env_.topology(), *env_.allocation());
+        if (!batch.items.empty()) {
+          // Apply the non-P2 cadence across scheduled items (§IV-B).
+          for (auto& item : batch.items) {
+            ++nonp2_counter;
+            if (config_.parallel_nonp2_cadence > 0 &&
+                nonp2_counter % config_.parallel_nonp2_cadence == 0) {
+              if (const auto m = env_.nonp2_msg_near(item.point.scenario.msg_bytes, rng)) {
+                item.point.scenario.msg_bytes = *m;
+              }
+            }
+          }
+          const auto measurements = env_.measure_scheduled(batch.items);
+          for (std::size_t i = 0; i < batch.items.size(); ++i) {
+            result.collected.push_back({batch.items[i].point, measurements[i].mean_us});
+            policy_.observe(batch.items[i].point, measurements[i].mean_us);
+          }
+          // Erase consumed pool entries (descending index order).
+          std::vector<std::size_t> consumed = batch.consumed;
+          std::sort(consumed.rbegin(), consumed.rend());
+          for (std::size_t idx : consumed) {
+            pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
+          }
+          batch_size = static_cast<int>(batch.items.size());
+          collected_this_iter = true;
+        }
+      }
+    }
+
+    if (!collected_this_iter) {
+      // Sequential path (also the seed phase and the rank-less fallback).
+      const AcquisitionPolicy::Pick pick = policy_.next(result.model, pool, env_, rng);
+      require(pick.pool_index < pool.size(), "acquisition returned bad pool index");
+      const bench::Measurement m = env_.measure(pick.point);
+      result.collected.push_back({pick.point, m.mean_us});
+      policy_.observe(pick.point, m.mean_us);
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick.pool_index));
+    }
+
+    refit(/*force=*/false);
+
+    IterationRecord rec;
+    rec.iteration = result.iterations;
+    rec.points_collected = result.collected.size();
+    rec.clock_s = env_.clock_s() - clock_start_s;
+    rec.batch_size = batch_size;
+    if (result.model.trained()) {
+      rec.cumulative_variance = result.model.cumulative_variance(candidates);
+      if (monitor_) {
+        rec.avg_slowdown = monitor_(result.model);
+      }
+      // Variance convergence (§IV-C): the change of the smoothed cumulative
+      // variance over a `patience`-iteration window must stay below
+      // abs_tol + rel_tol * reference, for `patience` consecutive checks.
+      constexpr double kEmaAlpha = 0.25;
+      ema = ema < 0.0 ? rec.cumulative_variance
+                      : kEmaAlpha * rec.cumulative_variance + (1.0 - kEmaAlpha) * ema;
+      ema_history.push_back(ema);
+      if (ema_history.size() > static_cast<std::size_t>(config_.patience)) {
+        const double ref =
+            ema_history[ema_history.size() - 1 - static_cast<std::size_t>(config_.patience)];
+        const double delta = std::abs(ema - ref);
+        const double tol = config_.variance_abs_tol + config_.variance_rel_tol * std::abs(ref);
+        calm_iters = delta < tol ? calm_iters + 1 : 0;
+      }
+      rec.cumulative_variance_ema = ema;
+    }
+    result.history.push_back(rec);
+
+    if (calm_iters >= config_.patience &&
+        result.collected.size() >= static_cast<std::size_t>(config_.min_points)) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  refit(/*force=*/true);
+  result.train_time_s = env_.clock_s() - clock_start_s;
+  util::log_info() << "active learner (" << coll::collective_name(collective_) << ", "
+                   << policy_.name() << "): " << result.collected.size() << " points, "
+                   << result.iterations << " iterations, "
+                   << (result.converged ? "converged" : "stopped") << " after "
+                   << result.train_time_s << " s of collection";
+  return result;
+}
+
+}  // namespace acclaim::core

@@ -1,0 +1,147 @@
+#include "core/env.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace acclaim::core {
+
+std::vector<bench::Measurement> TuningEnvironment::measure_scheduled(
+    const std::vector<ScheduledBenchmark>& batch) {
+  std::vector<bench::Measurement> out;
+  out.reserve(batch.size());
+  for (const ScheduledBenchmark& item : batch) {
+    out.push_back(measure(item.point));
+  }
+  return out;
+}
+
+namespace {
+
+/// Random non-P2 value near the anchor drawn from an explicit pool.
+std::optional<std::uint64_t> pick_nonp2_from(const std::vector<std::uint64_t>& sorted_msgs,
+                                             std::uint64_t p2_anchor, util::Rng& rng) {
+  // Same closest-P2 window as bench::random_nonp2_near.
+  const std::uint64_t lo = p2_anchor * 3 / 4;
+  const std::uint64_t hi = p2_anchor * 3 / 2;
+  std::vector<std::uint64_t> pool;
+  for (std::uint64_t m : sorted_msgs) {
+    if (m > lo && m < hi && m != p2_anchor) {
+      pool.push_back(m);
+    }
+  }
+  if (pool.empty()) {
+    return std::nullopt;
+  }
+  return pool[rng.index(pool.size())];
+}
+
+}  // namespace
+
+DatasetEnvironment::DatasetEnvironment(const bench::Dataset& dataset) : dataset_(dataset) {
+  for (coll::Collective c : coll::all_collectives()) {
+    msgs_[static_cast<int>(c)] = dataset.message_sizes(c);
+  }
+}
+
+bench::Measurement DatasetEnvironment::measure(const bench::BenchmarkPoint& point) {
+  const bench::Measurement& m = dataset_.at(point);  // throws if absent
+  charge_s(m.collect_cost_s);
+  return m;
+}
+
+std::optional<std::uint64_t> DatasetEnvironment::nonp2_msg_near(std::uint64_t p2_anchor,
+                                                                util::Rng& rng) {
+  // Use the union over collectives: message axes are shared in our datasets.
+  std::set<std::uint64_t> all;
+  for (const auto& [c, msgs] : msgs_) {
+    all.insert(msgs.begin(), msgs.end());
+  }
+  const std::vector<std::uint64_t> sorted(all.begin(), all.end());
+  return pick_nonp2_from(sorted, p2_anchor, rng);
+}
+
+LiveEnvironment::LiveEnvironment(const simnet::Topology& topo, const simnet::Allocation& alloc,
+                                 std::uint64_t job_seed, LiveEnvironmentConfig config)
+    : topo_(topo),
+      alloc_(alloc),
+      net_(topo, job_seed),
+      mb_(net_, config.microbench),
+      config_(config),
+      rng_(job_seed ^ 0xa5a5a5a5deadbeefULL) {}
+
+bench::Measurement LiveEnvironment::measure(const bench::BenchmarkPoint& point) {
+  util::Rng point_rng = rng_.split();
+  const bench::Measurement m = mb_.run(point, alloc_, point_rng);
+  charge_s(m.collect_cost_s);
+  return m;
+}
+
+std::vector<bench::Measurement> LiveEnvironment::measure_scheduled(
+    const std::vector<ScheduledBenchmark>& batch) {
+  require(!batch.empty(), "measure_scheduled requires a non-empty batch");
+
+  // Which racks / pairs each co-running benchmark occupies.
+  struct Footprint {
+    std::set<int> racks;
+    std::set<int> pairs;
+  };
+  std::vector<Footprint> feet(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto& item = batch[i];
+    require(item.first_node >= 0 &&
+                item.first_node + item.point.scenario.nnodes <= alloc_.num_nodes(),
+            "scheduled benchmark exceeds the job allocation");
+    for (int k = 0; k < item.point.scenario.nnodes; ++k) {
+      const int node = alloc_.node(item.first_node + k);
+      feet[i].racks.insert(topo_.rack_of(node));
+      feet[i].pairs.insert(topo_.pair_of(node));
+    }
+  }
+
+  std::vector<bench::Measurement> out;
+  out.reserve(batch.size());
+  double makespan_s = 0.0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    // Interference: concurrent benchmarks inject flows into every rack /
+    // pair they share with this one. A disjoint schedule (the §IV-D greedy
+    // guarantees rack disjointness) sees none of this.
+    std::unordered_map<int, int> rack_flows;
+    std::unordered_map<int, int> pair_flows;
+    for (std::size_t j = 0; j < batch.size(); ++j) {
+      if (j == i) {
+        continue;
+      }
+      for (int r : feet[j].racks) {
+        if (feet[i].racks.count(r)) {
+          rack_flows[r] += config_.interference_flows;
+        }
+      }
+      for (int p : feet[j].pairs) {
+        if (feet[i].pairs.count(p)) {
+          pair_flows[p] += config_.interference_flows;
+        }
+      }
+    }
+    const simnet::Allocation sub =
+        alloc_.slice(batch[i].first_node, batch[i].point.scenario.nnodes);
+    util::Rng point_rng = rng_.split();
+    const bench::Measurement m =
+        mb_.run_with_load(batch[i].point, sub, rack_flows, pair_flows, point_rng);
+    makespan_s = std::max(makespan_s, m.collect_cost_s);
+    out.push_back(m);
+  }
+  charge_s(makespan_s);
+  return out;
+}
+
+std::optional<std::uint64_t> LiveEnvironment::nonp2_msg_near(std::uint64_t p2_anchor,
+                                                             util::Rng& rng) {
+  if (p2_anchor < 4) {
+    return std::nullopt;
+  }
+  return bench::random_nonp2_near(p2_anchor, rng);
+}
+
+}  // namespace acclaim::core

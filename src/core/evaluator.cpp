@@ -1,0 +1,38 @@
+#include "core/evaluator.hpp"
+
+#include "util/error.hpp"
+
+namespace acclaim::core {
+
+Evaluator::Evaluator(const bench::Dataset& truth) : truth_(truth) {}
+
+double Evaluator::average_slowdown(const std::vector<bench::Scenario>& test,
+                                   const Selector& select) const {
+  require(!test.empty(), "average_slowdown requires at least one test scenario");
+  double sum = 0.0;
+  for (const bench::Scenario& s : test) {
+    const double best = truth_.best_time_us(s);
+    const double chosen = truth_.time_us(s, select(s));
+    sum += chosen / best;
+  }
+  return sum / static_cast<double>(test.size());
+}
+
+double Evaluator::average_slowdown(const std::vector<bench::Scenario>& test,
+                                   const CollectiveModel& model) const {
+  return average_slowdown(test, [&](const bench::Scenario& s) { return model.select(s); });
+}
+
+double Evaluator::optimal_rate(const std::vector<bench::Scenario>& test,
+                               const Selector& select) const {
+  require(!test.empty(), "optimal_rate requires at least one test scenario");
+  int hits = 0;
+  for (const bench::Scenario& s : test) {
+    if (select(s) == truth_.best_algorithm(s)) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(test.size());
+}
+
+}  // namespace acclaim::core

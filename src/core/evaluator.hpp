@@ -1,0 +1,43 @@
+// The paper's evaluation metric: average slowdown of a selector's choices
+// versus the measured-optimal algorithm (§II-C2). 1.0 = always optimal;
+// the convergence standard is average slowdown <= 1.03.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "benchdata/dataset.hpp"
+#include "core/model.hpp"
+
+namespace acclaim::core {
+
+/// The paper's convergence criterion on average slowdown.
+inline constexpr double kSlowdownConvergence = 1.03;
+
+using Selector = std::function<coll::Algorithm(const bench::Scenario&)>;
+
+class Evaluator {
+ public:
+  /// `truth` provides measured times for every (scenario, algorithm) pair
+  /// being evaluated; it must outlive the evaluator.
+  explicit Evaluator(const bench::Dataset& truth);
+
+  /// Mean over test scenarios of time(selected) / time(best). Scenarios the
+  /// dataset lacks entirely are an error (NotFoundError).
+  double average_slowdown(const std::vector<bench::Scenario>& test,
+                          const Selector& select) const;
+
+  /// Convenience: evaluate a trained model.
+  double average_slowdown(const std::vector<bench::Scenario>& test,
+                          const CollectiveModel& model) const;
+
+  /// Fraction of scenarios where the selection is exactly optimal.
+  double optimal_rate(const std::vector<bench::Scenario>& test, const Selector& select) const;
+
+  const bench::Dataset& truth() const noexcept { return truth_; }
+
+ private:
+  const bench::Dataset& truth_;
+};
+
+}  // namespace acclaim::core

@@ -1,0 +1,77 @@
+#include "core/feature_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace acclaim::core {
+
+ml::FeatureRow encode_point(const bench::BenchmarkPoint& p) {
+  const auto algs = coll::algorithms_for(p.scenario.collective);
+  int alg_index = -1;
+  for (std::size_t i = 0; i < algs.size(); ++i) {
+    if (algs[i] == p.algorithm) {
+      alg_index = static_cast<int>(i);
+      break;
+    }
+  }
+  require(alg_index >= 0, "algorithm does not implement the point's collective");
+  // Log2 axes plus a one-hot algorithm block: one-hot lets a tree isolate
+  // any algorithm with a single split, which matters because algorithms of
+  // the same collective can differ by an order of magnitude at the same
+  // (nodes, ppn, msg) point.
+  ml::FeatureRow row = {std::log2(static_cast<double>(p.scenario.nnodes)),
+                        std::log2(static_cast<double>(p.scenario.ppn)),
+                        std::log2(static_cast<double>(p.scenario.msg_bytes))};
+  for (std::size_t i = 0; i < algs.size(); ++i) {
+    row.push_back(i == static_cast<std::size_t>(alg_index) ? 1.0 : 0.0);
+  }
+  return row;
+}
+
+FeatureSpace::FeatureSpace(std::vector<int> nodes, std::vector<int> ppns,
+                           std::vector<std::uint64_t> msgs)
+    : nodes_(std::move(nodes)), ppns_(std::move(ppns)), msgs_(std::move(msgs)) {
+  require(!nodes_.empty() && !ppns_.empty() && !msgs_.empty(),
+          "feature space requires non-empty axes");
+  std::sort(nodes_.begin(), nodes_.end());
+  std::sort(ppns_.begin(), ppns_.end());
+  std::sort(msgs_.begin(), msgs_.end());
+}
+
+FeatureSpace FeatureSpace::from_grid(const bench::FeatureGrid& grid) {
+  return FeatureSpace(grid.nodes, grid.ppns, grid.msgs);
+}
+
+std::vector<bench::BenchmarkPoint> FeatureSpace::candidates(coll::Collective c) const {
+  bench::FeatureGrid g;
+  g.nodes = nodes_;
+  g.ppns = ppns_;
+  g.msgs = msgs_;
+  return g.points(c);
+}
+
+std::vector<bench::Scenario> FeatureSpace::scenarios(coll::Collective c) const {
+  bench::FeatureGrid g;
+  g.nodes = nodes_;
+  g.ppns = ppns_;
+  g.msgs = msgs_;
+  return g.scenarios(c);
+}
+
+std::pair<std::uint64_t, std::uint64_t> FeatureSpace::msg_neighbors(std::uint64_t msg) const {
+  std::uint64_t below = 0;
+  std::uint64_t above = 0;
+  for (std::uint64_t m : msgs_) {
+    if (m < msg) {
+      below = m;
+    } else if (m > msg) {
+      above = m;
+      break;
+    }
+  }
+  return {below, above};
+}
+
+}  // namespace acclaim::core

@@ -1,0 +1,63 @@
+#include "core/heuristic.hpp"
+
+#include "util/rng.hpp"
+
+namespace acclaim::core {
+
+coll::Algorithm mpich_default_selection(const bench::Scenario& s) {
+  using coll::Algorithm;
+  const std::uint64_t msg = s.msg_bytes;
+  const int p = s.nranks();
+  const bool p2 = util::is_power_of_two(static_cast<std::uint64_t>(p));
+  switch (s.collective) {
+    case coll::Collective::Bcast:
+      // MPICH: binomial below 12 KiB or tiny communicators; scatter +
+      // recursive-doubling allgather for medium sizes on P2 communicators;
+      // scatter + ring allgather otherwise.
+      if (msg < 12288 || p < 8) {
+        return Algorithm::BcastBinomial;
+      }
+      if (msg < 524288 && p2) {
+        return Algorithm::BcastScatterRecursiveDoublingAllgather;
+      }
+      return Algorithm::BcastScatterRingAllgather;
+    case coll::Collective::Reduce:
+      // MPICH: reduce_scatter_gather for large commutative reductions,
+      // binomial otherwise (2 KiB cutoff).
+      if (msg > 2048) {
+        return Algorithm::ReduceScatterGather;
+      }
+      return Algorithm::ReduceBinomial;
+    case coll::Collective::Allreduce:
+      // MPICH: recursive doubling below 2 KiB, Rabenseifner above.
+      if (msg <= 2048) {
+        return Algorithm::AllreduceRecursiveDoubling;
+      }
+      return Algorithm::AllreduceReduceScatterAllgather;
+    case coll::Collective::Allgather:
+      // MPICH: total data < 80 KiB -> recursive doubling (P2) or bruck
+      // (non-P2); ring for large totals.
+      if (msg * static_cast<std::uint64_t>(p) < 81920) {
+        return p2 ? Algorithm::AllgatherRecursiveDoubling : Algorithm::AllgatherBruck;
+      }
+      return Algorithm::AllgatherRing;
+    case coll::Collective::Gather:
+      // Direct sends win only for tiny fan-in; MPICH defaults to binomial.
+      return p <= 4 ? Algorithm::GatherLinear : Algorithm::GatherBinomial;
+    case coll::Collective::Scatter:
+      return p <= 4 ? Algorithm::ScatterLinear : Algorithm::ScatterBinomial;
+    case coll::Collective::Alltoall:
+      // MPICH: bruck for short messages (<= 256 B/block), pairwise beyond.
+      return msg <= 256 ? Algorithm::AlltoallBruck : Algorithm::AlltoallPairwise;
+    case coll::Collective::ReduceScatterBlock:
+      // MPICH: recursive halving for short commutative, pairwise for long.
+      return msg * static_cast<std::uint64_t>(p) <= 524288
+                 ? Algorithm::ReduceScatterBlockRecursiveHalving
+                 : Algorithm::ReduceScatterBlockPairwise;
+    case coll::Collective::Barrier:
+      return Algorithm::BarrierDissemination;
+  }
+  return Algorithm::BcastBinomial;  // unreachable
+}
+
+}  // namespace acclaim::core

@@ -1,0 +1,17 @@
+// The MPICH-style static default selection — the baseline the paper's
+// optimized selections beat by 35-40% in the worst cases (§II-B1).
+//
+// Cutoffs follow MPICH's internal heuristics (MPIR_* _intra_auto): message
+// size and communicator-size thresholds plus power-of-two checks. These are
+// compiled-in constants, blind to the actual machine — precisely why they
+// leave performance on the table.
+#pragma once
+
+#include "benchdata/point.hpp"
+
+namespace acclaim::core {
+
+/// The algorithm MPICH's default heuristic would pick for the scenario.
+coll::Algorithm mpich_default_selection(const bench::Scenario& s);
+
+}  // namespace acclaim::core

@@ -1,0 +1,100 @@
+#include "core/model.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace acclaim::core {
+
+ml::ForestParams default_forest_params() {
+  ml::ForestParams p;
+  p.n_trees = 100;
+  p.bootstrap = true;
+  p.tree.max_depth = 32;
+  p.tree.min_samples_leaf = 1;
+  p.tree.min_samples_split = 2;
+  p.tree.max_features = -1;
+  return p;
+}
+
+CollectiveModel::CollectiveModel(coll::Collective c, ml::ForestParams params)
+    : collective_(c), params_(params) {}
+
+void CollectiveModel::fit(const std::vector<LabeledPoint>& data, std::uint64_t seed) {
+  require(!data.empty(), "CollectiveModel::fit requires at least one point");
+  std::vector<ml::FeatureRow> X;
+  std::vector<double> y;
+  X.reserve(data.size());
+  y.reserve(data.size());
+  for (const LabeledPoint& lp : data) {
+    require(lp.point.scenario.collective == collective_,
+            "training point belongs to a different collective");
+    require(lp.time_us > 0.0, "training time must be positive");
+    X.push_back(encode_point(lp.point));
+    y.push_back(std::log(lp.time_us));
+  }
+  forest_.fit(X, y, params_, seed);
+  n_points_ = data.size();
+}
+
+double CollectiveModel::predict_log_us(const bench::BenchmarkPoint& point) const {
+  require(trained(), "model not trained");
+  return forest_.predict(encode_point(point));
+}
+
+double CollectiveModel::predict_us(const bench::BenchmarkPoint& point) const {
+  return std::exp(predict_log_us(point));
+}
+
+double CollectiveModel::jackknife_variance(const bench::BenchmarkPoint& point) const {
+  require(trained(), "model not trained");
+  thread_local std::vector<double> preds;
+  forest_.predict_trees(encode_point(point), preds);
+  return ml::jackknife_variance(preds);
+}
+
+double CollectiveModel::cumulative_variance(
+    const std::vector<bench::BenchmarkPoint>& candidates) const {
+  double sum = 0.0;
+  for (const auto& p : candidates) {
+    sum += jackknife_variance(p);
+  }
+  return sum;
+}
+
+util::Json CollectiveModel::to_json() const {
+  require(trained(), "cannot serialize an untrained model");
+  util::Json doc = util::Json::object();
+  doc["model"] = "acclaim-collective-model-v1";
+  doc["collective"] = coll::collective_name(collective_);
+  doc["training_points"] = static_cast<double>(n_points_);
+  doc["forest"] = forest_.to_json();
+  return doc;
+}
+
+CollectiveModel CollectiveModel::from_json(const util::Json& doc) {
+  require(doc.contains("model") &&
+              doc.at("model").as_string() == "acclaim-collective-model-v1",
+          "unknown model serialization format");
+  CollectiveModel model(coll::parse_collective(doc.at("collective").as_string()));
+  model.forest_ = ml::RandomForest::from_json(doc.at("forest"));
+  model.n_points_ = static_cast<std::size_t>(doc.at("training_points").as_int());
+  return model;
+}
+
+coll::Algorithm CollectiveModel::select(const bench::Scenario& s) const {
+  require(s.collective == collective_, "scenario belongs to a different collective");
+  coll::Algorithm best = coll::algorithms_for(collective_).front();
+  double best_log = std::numeric_limits<double>::infinity();
+  for (coll::Algorithm a : coll::algorithms_for(collective_)) {
+    const double t = predict_log_us(bench::BenchmarkPoint{s, a});
+    if (t < best_log) {
+      best_log = t;
+      best = a;
+    }
+  }
+  return best;
+}
+
+}  // namespace acclaim::core

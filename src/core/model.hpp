@@ -1,0 +1,67 @@
+// The autotuner's performance model: one random forest per collective with
+// "algorithm" as a feature (§V), trained on log execution time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "benchdata/point.hpp"
+#include "core/feature_space.hpp"
+#include "ml/forest.hpp"
+
+namespace acclaim::core {
+
+/// One collected training example.
+struct LabeledPoint {
+  bench::BenchmarkPoint point;
+  double time_us = 0.0;
+};
+
+/// Forest defaults matching scikit-learn's RandomForestRegressor as the
+/// paper uses it (100 estimators, unlimited depth, bootstrap).
+ml::ForestParams default_forest_params();
+
+/// Predicts per-algorithm execution time for a collective and selects the
+/// algorithm with the lowest prediction.
+class CollectiveModel {
+ public:
+  CollectiveModel() = default;
+  explicit CollectiveModel(coll::Collective c, ml::ForestParams params = default_forest_params());
+
+  coll::Collective collective() const noexcept { return collective_; }
+  bool trained() const noexcept { return forest_.fitted(); }
+  std::size_t training_points() const noexcept { return n_points_; }
+
+  /// (Re)fits the forest on the collected points. Throws InvalidArgument on
+  /// an empty set or on points of a different collective.
+  void fit(const std::vector<LabeledPoint>& data, std::uint64_t seed);
+
+  /// Predicted execution time in microseconds.
+  double predict_us(const bench::BenchmarkPoint& point) const;
+
+  /// Predicted log(time_us) — the model's native output space.
+  double predict_log_us(const bench::BenchmarkPoint& point) const;
+
+  /// Jackknife variance of the per-tree log-time predictions (§IV-A).
+  double jackknife_variance(const bench::BenchmarkPoint& point) const;
+
+  /// Sum of jackknife variances over a candidate set — the cumulative
+  /// variance used as the test-set-free convergence proxy (§IV-C).
+  double cumulative_variance(const std::vector<bench::BenchmarkPoint>& candidates) const;
+
+  /// The algorithm with the lowest predicted time for the scenario.
+  coll::Algorithm select(const bench::Scenario& s) const;
+
+  /// Serializes the trained model (collective + forest) so a job can reuse
+  /// it or inspect it offline. Requires trained().
+  util::Json to_json() const;
+  static CollectiveModel from_json(const util::Json& doc);
+
+ private:
+  coll::Collective collective_ = coll::Collective::Bcast;
+  ml::ForestParams params_;
+  ml::RandomForest forest_;
+  std::size_t n_points_ = 0;
+};
+
+}  // namespace acclaim::core

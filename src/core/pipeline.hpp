@@ -1,0 +1,71 @@
+// The ACCLAiM system end-to-end (Fig. 1(b), §V).
+//
+// User input: the job (nodes, ppn) and the list of collectives the
+// application predominantly uses. The pipeline allocates the job on the
+// machine, trains one model per requested collective with jackknife
+// acquisition + variance convergence + topology-aware parallel collection,
+// generates the MPICH-style selection JSON, and hands back an engine the
+// application run then uses — all transparent to the user.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/active_learner.hpp"
+#include "core/rulegen.hpp"
+#include "simnet/allocation.hpp"
+#include "simnet/machine.hpp"
+#include "simnet/topology.hpp"
+#include "util/json.hpp"
+
+namespace acclaim::core {
+
+struct JobSpec {
+  /// Collectives the application predominantly uses (the only extra user
+  /// input ACCLAiM requires).
+  std::vector<coll::Collective> collectives;
+  int nnodes = 16;
+  int ppn = 16;
+  std::uint64_t min_msg = 8;
+  std::uint64_t max_msg = 1 << 20;
+  /// Determines the allocation and this job's network realization.
+  std::uint64_t job_seed = 1;
+  /// Fraction of the machine occupied by other users when the job starts.
+  double machine_busy_fraction = 0.3;
+};
+
+struct CollectiveTrainingSummary {
+  coll::Collective collective = coll::Collective::Bcast;
+  std::size_t points = 0;
+  int iterations = 0;
+  double train_time_s = 0.0;
+  bool converged = false;
+  int max_batch = 1;  ///< largest parallel collection batch observed
+};
+
+struct PipelineResult {
+  util::Json config;  ///< the generated selection rule document
+  std::vector<CollectiveTrainingSummary> training;
+  double total_training_s = 0.0;
+  simnet::Allocation allocation;
+  std::uint64_t job_seed = 0;
+
+  SelectionEngine engine() const { return SelectionEngine::from_json(config); }
+};
+
+class AcclaimPipeline {
+ public:
+  explicit AcclaimPipeline(simnet::MachineConfig machine, ActiveLearnerConfig learner = {});
+
+  /// Runs training + config generation for a job. Throws InvalidArgument if
+  /// the job does not fit the machine.
+  PipelineResult run(const JobSpec& spec) const;
+
+  const simnet::Topology& topology() const noexcept { return topo_; }
+
+ private:
+  simnet::Topology topo_;
+  ActiveLearnerConfig learner_;
+};
+
+}  // namespace acclaim::core

@@ -1,0 +1,44 @@
+#include "core/scheduler.hpp"
+
+#include "util/error.hpp"
+
+namespace acclaim::core {
+
+CollectionScheduler::CollectionScheduler(CollectionSchedulerConfig config) : config_(config) {
+  require(config_.max_batch >= 1, "scheduler batch cap must be >= 1");
+}
+
+CollectionBatch CollectionScheduler::plan(const std::vector<bench::BenchmarkPoint>& pool,
+                                          const std::vector<std::size_t>& ranked,
+                                          const simnet::Topology& topo,
+                                          const simnet::Allocation& alloc) const {
+  CollectionBatch batch;
+  // Nodes are consumed strictly left-to-right in allocation order, so the
+  // used region is always a prefix and `cursor` fully describes it.
+  int cursor = 0;
+  for (std::size_t pri : ranked) {
+    if (static_cast<int>(batch.items.size()) >= config_.max_batch) {
+      break;
+    }
+    require(pri < pool.size(), "ranked index out of pool range");
+    const int need = pool[pri].scenario.nnodes;
+    if (cursor + need > alloc.num_nodes()) {
+      break;  // the paper's greedy stops at the first misfit
+    }
+    batch.items.push_back(ScheduledBenchmark{pool[pri], cursor});
+    batch.consumed.push_back(pri);
+    cursor += need;
+    if (config_.topology_aware) {
+      // Retire the remaining nodes of every rack the placement touched:
+      // advance past all allocation nodes whose rack is <= the last rack
+      // used. (Node ids — and hence racks — increase with allocation index.)
+      const int last_rack = topo.rack_of(alloc.node(cursor - 1));
+      while (cursor < alloc.num_nodes() && topo.rack_of(alloc.node(cursor)) <= last_rack) {
+        ++cursor;
+      }
+    }
+  }
+  return batch;
+}
+
+}  // namespace acclaim::core

@@ -1,0 +1,146 @@
+#include "minimpi/cost_executor.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace acclaim::minimpi {
+
+RankMap::RankMap(const simnet::Allocation& alloc, int ppn) : ppn_(ppn) {
+  require(ppn >= 1, "RankMap requires ppn >= 1");
+  nranks_ = alloc.num_nodes() * ppn;
+  node_of_rank_.resize(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    node_of_rank_[static_cast<std::size_t>(r)] = alloc.node_of_rank(r, ppn);
+  }
+}
+
+int RankMap::node_of(int rank) const {
+  if (rank < 0 || rank >= nranks_) {
+    throw InvalidArgument("rank out of range in RankMap");
+  }
+  return node_of_rank_[static_cast<std::size_t>(rank)];
+}
+
+CostExecutor::CostExecutor(const simnet::NetworkModel& net, const RankMap& ranks)
+    : net_(net),
+      ranks_(ranks),
+      node_out_(static_cast<std::size_t>(net.topology().total_nodes())),
+      node_in_(static_cast<std::size_t>(net.topology().total_nodes())),
+      rack_flows_(static_cast<std::size_t>(net.topology().num_racks())),
+      pair_flows_(static_cast<std::size_t>(net.topology().num_pairs())) {}
+
+void CostExecutor::set_external_load(const std::unordered_map<int, int>& rack_flows,
+                                     const std::unordered_map<int, int>& pair_flows) {
+  ext_rack_flows_ = rack_flows;
+  ext_pair_flows_ = pair_flows;
+}
+
+void CostExecutor::on_round(const Round& round) {
+  validate_round(round, ranks_.nranks());
+  const auto& topo = net_.topology();
+  const auto& p = net_.params();
+
+  // Pass 1: count concurrent flows per choke point (NIC in/out, rack
+  // uplinks, global pair links).
+  node_out_.reset();
+  node_in_.reset();
+  rack_flows_.reset();
+  pair_flows_.reset();
+  for (const Transfer& t : round.transfers) {
+    if (t.src_rank == t.dst_rank) {
+      continue;  // local copy, no network
+    }
+    const int sn = ranks_.node_of(t.src_rank);
+    const int dn = ranks_.node_of(t.dst_rank);
+    if (sn == dn) {
+      continue;  // shared-memory transfer, not a NIC flow
+    }
+    node_out_.add(sn, 1);
+    node_in_.add(dn, 1);
+    const int sr = topo.rack_of(sn);
+    const int dr = topo.rack_of(dn);
+    if (sr != dr) {
+      rack_flows_.add(sr, 1);
+      rack_flows_.add(dr, 1);
+      const int sp = topo.pair_of_rack(sr);
+      const int dp = topo.pair_of_rack(dr);
+      if (sp != dp) {
+        pair_flows_.add(sp, 1);
+        pair_flows_.add(dp, 1);
+      }
+    }
+  }
+  for (const auto& [rack, flows] : ext_rack_flows_) {
+    rack_flows_.add(rack, flows);
+  }
+  for (const auto& [pair, flows] : ext_pair_flows_) {
+    pair_flows_.add(pair, flows);
+  }
+
+  // Pass 2: per-transfer effective time; round time = max over transfers.
+  double round_us = 0.0;
+  for (const Transfer& t : round.transfers) {
+    double us = 0.0;
+    if (t.src_rank == t.dst_rank) {
+      us = static_cast<double>(t.bytes) * p.local_copy_us_per_byte;
+    } else {
+      const int sn = ranks_.node_of(t.src_rank);
+      const int dn = ranks_.node_of(t.dst_rank);
+      const simnet::LinkClass cls = topo.link_class(sn, dn);
+      double contention = 1.0;
+      if (cls != simnet::LinkClass::IntraNode) {
+        contention = std::max(
+            contention, static_cast<double>(std::max(node_out_.get(sn), node_in_.get(dn))));
+        const int sr = topo.rack_of(sn);
+        const int dr = topo.rack_of(dn);
+        if (sr == dr) {
+          // Intra-rack transfer: co-running benchmarks that share this rack
+          // congest the layer-1 switch (§III-D — the reason the collection
+          // scheduler forbids rack sharing).
+          if (!ext_rack_flows_.empty()) {
+            const auto it = ext_rack_flows_.find(sr);
+            if (it != ext_rack_flows_.end()) {
+              contention = std::max(contention, 1.0 + static_cast<double>(it->second) /
+                                                          static_cast<double>(
+                                                              p.rack_uplink_capacity));
+            }
+          }
+        } else {
+          const double uplink =
+              static_cast<double>(std::max(rack_flows_.get(sr), rack_flows_.get(dr))) /
+              static_cast<double>(p.rack_uplink_capacity);
+          contention = std::max(contention, uplink);
+          const int sp = topo.pair_of_rack(sr);
+          const int dp = topo.pair_of_rack(dr);
+          if (sp != dp) {
+            const double global =
+                static_cast<double>(std::max(pair_flows_.get(sp), pair_flows_.get(dp))) /
+                static_cast<double>(p.global_link_capacity);
+            contention = std::max(contention, global);
+          }
+        }
+      }
+      contention = std::min(contention, p.contention_cap);
+      double beta = net_.beta_us_per_byte(cls);
+      if (t.bytes % 8 != 0 || t.src_off % 8 != 0 || t.dst_off % 8 != 0) {
+        beta *= 1.0 + p.unaligned_beta_penalty;
+      }
+      double alpha = net_.alpha_us(cls);
+      if (t.bytes > p.eager_threshold_bytes) {
+        alpha *= p.rendezvous_alpha_factor;  // rendezvous handshake
+      }
+      const std::uint64_t chunks = (t.bytes + p.chunk_bytes - 1) / p.chunk_bytes;
+      us = alpha + static_cast<double>(chunks - 1) * p.chunk_overhead_us +
+           static_cast<double>(t.bytes) * beta * contention;
+    }
+    if (t.reduce) {
+      us += static_cast<double>(t.bytes) * p.reduce_compute_us_per_byte;
+    }
+    round_us = std::max(round_us, us);
+  }
+  elapsed_us_ += round_us + p.round_overhead_us;
+  ++rounds_;
+}
+
+}  // namespace acclaim::minimpi

@@ -1,0 +1,98 @@
+// Timing execution of a schedule against the network model.
+//
+// Round cost = max over its transfers of the per-transfer time, plus a
+// synchronization overhead; total = sum over rounds. Per-transfer time is
+// alpha(class) + bytes * beta(class) * contention, where contention captures
+// serialization at three choke points:
+//  * NIC: a node sending (or receiving) k concurrent messages serializes its
+//    injection (ejection) bandwidth k-ways;
+//  * rack uplink (layer 2): transfers leaving/entering a rack share
+//    `rack_uplink_capacity` full-speed flows;
+//  * global layer (layer 3): transfers between rack pairs share
+//    `global_link_capacity` flows per pair.
+// This is what makes co-scheduled benchmarks that share a rack perturb each
+// other (§III-D) and what the Fig. 13 collection scheduler must avoid.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "minimpi/schedule.hpp"
+#include "simnet/allocation.hpp"
+#include "simnet/network.hpp"
+
+namespace acclaim::minimpi {
+
+/// Maps ranks to machine nodes (block mapping over an allocation).
+class RankMap {
+ public:
+  RankMap(const simnet::Allocation& alloc, int ppn);
+
+  int nranks() const noexcept { return nranks_; }
+  int ppn() const noexcept { return ppn_; }
+  int node_of(int rank) const;
+
+ private:
+  std::vector<int> node_of_rank_;
+  int nranks_;
+  int ppn_;
+};
+
+/// Accumulates the execution time of the rounds it receives.
+class CostExecutor final : public RoundSink {
+ public:
+  CostExecutor(const simnet::NetworkModel& net, const RankMap& ranks);
+
+  void on_round(const Round& round) override;
+
+  /// Total schedule time so far, in microseconds.
+  double elapsed_us() const noexcept { return elapsed_us_; }
+
+  std::size_t rounds_executed() const noexcept { return rounds_; }
+
+  /// Register transfers from a *different* co-running schedule that occupy
+  /// the network concurrently (used to model congestion between co-scheduled
+  /// benchmarks). Loads are expressed as extra concurrent flows per rack
+  /// uplink / per pair.
+  void set_external_load(const std::unordered_map<int, int>& rack_flows,
+                         const std::unordered_map<int, int>& pair_flows);
+
+ private:
+  /// Sparse per-round counter over a dense id space: O(1) increments and
+  /// O(touched) reset, no hashing on the hot path.
+  class FlowCounter {
+   public:
+    explicit FlowCounter(std::size_t size) : counts_(size, 0) {}
+    void add(int id, int n) {
+      if (counts_[static_cast<std::size_t>(id)] == 0) {
+        touched_.push_back(id);
+      }
+      counts_[static_cast<std::size_t>(id)] += n;
+    }
+    int get(int id) const { return counts_[static_cast<std::size_t>(id)]; }
+    void reset() {
+      for (int id : touched_) {
+        counts_[static_cast<std::size_t>(id)] = 0;
+      }
+      touched_.clear();
+    }
+
+   private:
+    std::vector<int> counts_;
+    std::vector<int> touched_;
+  };
+
+  const simnet::NetworkModel& net_;
+  const RankMap& ranks_;
+  double elapsed_us_ = 0.0;
+  std::size_t rounds_ = 0;
+  std::unordered_map<int, int> ext_rack_flows_;
+  std::unordered_map<int, int> ext_pair_flows_;
+  FlowCounter node_out_;
+  FlowCounter node_in_;
+  FlowCounter rack_flows_;
+  FlowCounter pair_flows_;
+};
+
+}  // namespace acclaim::minimpi

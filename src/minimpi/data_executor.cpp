@@ -1,0 +1,79 @@
+#include "minimpi/data_executor.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace acclaim::minimpi {
+
+namespace {
+std::uint64_t to_elems(std::uint64_t bytes, const char* what) {
+  require(bytes % 8 == 0, std::string(what) + " must be a multiple of 8 bytes");
+  return bytes / 8;
+}
+}  // namespace
+
+DataExecutor::DataExecutor(int nranks, std::uint64_t send_bytes, std::uint64_t recv_bytes,
+                           std::uint64_t tmp_bytes, ReduceOp op)
+    : nranks_(nranks), op_(op) {
+  require(nranks >= 1, "DataExecutor requires at least one rank");
+  const std::uint64_t se = to_elems(send_bytes, "send buffer size");
+  const std::uint64_t re = to_elems(recv_bytes, "recv buffer size");
+  const std::uint64_t te = to_elems(tmp_bytes, "tmp buffer size");
+  buffers_.resize(static_cast<std::size_t>(nranks));
+  for (auto& rank_bufs : buffers_) {
+    rank_bufs.resize(3);
+    rank_bufs[0].assign(se, 0.0);
+    rank_bufs[1].assign(re, 0.0);
+    rank_bufs[2].assign(te, 0.0);
+  }
+}
+
+std::vector<double>& DataExecutor::buffer(int rank, BufKind kind) {
+  require(rank >= 0 && rank < nranks_, "buffer rank out of range");
+  return buffers_[static_cast<std::size_t>(rank)][static_cast<std::size_t>(kind)];
+}
+
+const std::vector<double>& DataExecutor::buffer(int rank, BufKind kind) const {
+  require(rank >= 0 && rank < nranks_, "buffer rank out of range");
+  return buffers_[static_cast<std::size_t>(rank)][static_cast<std::size_t>(kind)];
+}
+
+void DataExecutor::on_round(const Round& round) {
+  validate_round(round, nranks_);
+  // Stage all source regions first so the round has sendrecv semantics.
+  std::vector<Staged> staged;
+  staged.reserve(round.transfers.size());
+  for (const Transfer& t : round.transfers) {
+    // Data movement is element-granular in this executor.
+    const std::uint64_t elems = to_elems(t.bytes, "transfer size");
+    const std::uint64_t src_elem = to_elems(t.src_off, "transfer src offset");
+    const auto& src = buffer(t.src_rank, t.src_buf);
+    require(src_elem + elems <= src.size(),
+            "transfer reads past end of " + std::string(buf_kind_name(t.src_buf)) +
+                " buffer of rank " + std::to_string(t.src_rank));
+    Staged s;
+    s.transfer = &t;
+    s.data.assign(src.begin() + static_cast<std::ptrdiff_t>(src_elem),
+                  src.begin() + static_cast<std::ptrdiff_t>(src_elem + elems));
+    staged.push_back(std::move(s));
+  }
+  for (const Staged& s : staged) {
+    const Transfer& t = *s.transfer;
+    const std::uint64_t elems = s.data.size();
+    const std::uint64_t dst_elem = to_elems(t.dst_off, "transfer dst offset");
+    auto& dst = buffer(t.dst_rank, t.dst_buf);
+    require(dst_elem + elems <= dst.size(),
+            "transfer writes past end of " + std::string(buf_kind_name(t.dst_buf)) +
+                " buffer of rank " + std::to_string(t.dst_rank));
+    if (t.reduce) {
+      apply_reduce(op_, dst.data() + dst_elem, s.data.data(), elems);
+    } else {
+      std::memcpy(dst.data() + dst_elem, s.data.data(), elems * sizeof(double));
+    }
+  }
+  ++rounds_;
+}
+
+}  // namespace acclaim::minimpi

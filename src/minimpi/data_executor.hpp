@@ -1,0 +1,47 @@
+// Byte-accurate schedule execution for correctness testing.
+//
+// Each simulated rank owns three double-element buffers (send, recv, tmp).
+// Within a round all sources are read from the *pre-round* state — exactly
+// the semantics of a set of concurrent MPI_Sendrecv calls — by staging every
+// transfer's source bytes before applying any write.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "minimpi/ops.hpp"
+#include "minimpi/schedule.hpp"
+
+namespace acclaim::minimpi {
+
+/// Executes rounds against per-rank buffers.
+class DataExecutor final : public RoundSink {
+ public:
+  /// Buffers are sized in *bytes* (must be multiples of 8) and zero-filled.
+  DataExecutor(int nranks, std::uint64_t send_bytes, std::uint64_t recv_bytes,
+               std::uint64_t tmp_bytes, ReduceOp op = ReduceOp::Sum);
+
+  int nranks() const noexcept { return nranks_; }
+
+  /// Mutable access for initializing inputs (element = double).
+  std::vector<double>& buffer(int rank, BufKind kind);
+  const std::vector<double>& buffer(int rank, BufKind kind) const;
+
+  void on_round(const Round& round) override;
+
+  std::size_t rounds_executed() const noexcept { return rounds_; }
+
+ private:
+  struct Staged {
+    const Transfer* transfer;
+    std::vector<double> data;
+  };
+
+  int nranks_;
+  ReduceOp op_;
+  // buffers_[rank][kind]
+  std::vector<std::vector<std::vector<double>>> buffers_;
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace acclaim::minimpi

@@ -1,0 +1,58 @@
+#include "minimpi/ops.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace acclaim::minimpi {
+
+const char* reduce_op_name(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::Sum: return "sum";
+    case ReduceOp::Max: return "max";
+    case ReduceOp::Min: return "min";
+    case ReduceOp::Prod: return "prod";
+  }
+  return "?";
+}
+
+double reduce_scalar(ReduceOp op, double a, double b) {
+  switch (op) {
+    case ReduceOp::Sum: return a + b;
+    case ReduceOp::Max: return std::max(a, b);
+    case ReduceOp::Min: return std::min(a, b);
+    case ReduceOp::Prod: return a * b;
+  }
+  throw InvalidArgument("unknown reduce op");
+}
+
+double reduce_identity(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::Sum: return 0.0;
+    case ReduceOp::Max: return -std::numeric_limits<double>::infinity();
+    case ReduceOp::Min: return std::numeric_limits<double>::infinity();
+    case ReduceOp::Prod: return 1.0;
+  }
+  throw InvalidArgument("unknown reduce op");
+}
+
+void apply_reduce(ReduceOp op, double* dst, const double* src, std::size_t count) {
+  switch (op) {
+    case ReduceOp::Sum:
+      for (std::size_t i = 0; i < count; ++i) dst[i] += src[i];
+      return;
+    case ReduceOp::Max:
+      for (std::size_t i = 0; i < count; ++i) dst[i] = std::max(dst[i], src[i]);
+      return;
+    case ReduceOp::Min:
+      for (std::size_t i = 0; i < count; ++i) dst[i] = std::min(dst[i], src[i]);
+      return;
+    case ReduceOp::Prod:
+      for (std::size_t i = 0; i < count; ++i) dst[i] *= src[i];
+      return;
+  }
+  throw InvalidArgument("unknown reduce op");
+}
+
+}  // namespace acclaim::minimpi

@@ -1,0 +1,25 @@
+// Reduction operations over double elements.
+//
+// Correctness execution works on doubles (8-byte elements); a reduce
+// transfer's byte range must therefore be 8-byte aligned and sized.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace acclaim::minimpi {
+
+enum class ReduceOp : int { Sum = 0, Max = 1, Min = 2, Prod = 3 };
+
+const char* reduce_op_name(ReduceOp op);
+
+/// dst[i] = op(dst[i], src[i]) for i in [0, count).
+void apply_reduce(ReduceOp op, double* dst, const double* src, std::size_t count);
+
+/// Scalar form for oracles.
+double reduce_scalar(ReduceOp op, double a, double b);
+
+/// Identity element of the op (0 for Sum, -inf for Max, ...).
+double reduce_identity(ReduceOp op);
+
+}  // namespace acclaim::minimpi

@@ -1,0 +1,79 @@
+#include "minimpi/schedule.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace acclaim::minimpi {
+
+const char* buf_kind_name(BufKind k) {
+  switch (k) {
+    case BufKind::Send: return "send";
+    case BufKind::Recv: return "recv";
+    case BufKind::Tmp: return "tmp";
+  }
+  return "?";
+}
+
+Transfer Round::copy(int src_rank, BufKind src_buf, std::uint64_t src_off, int dst_rank,
+                     BufKind dst_buf, std::uint64_t dst_off, std::uint64_t bytes) {
+  Transfer t;
+  t.src_rank = src_rank;
+  t.dst_rank = dst_rank;
+  t.src_buf = src_buf;
+  t.dst_buf = dst_buf;
+  t.src_off = src_off;
+  t.dst_off = dst_off;
+  t.bytes = bytes;
+  t.reduce = false;
+  return t;
+}
+
+Transfer Round::combine(int src_rank, BufKind src_buf, std::uint64_t src_off, int dst_rank,
+                        BufKind dst_buf, std::uint64_t dst_off, std::uint64_t bytes) {
+  Transfer t = copy(src_rank, src_buf, src_off, dst_rank, dst_buf, dst_off, bytes);
+  t.reduce = true;
+  return t;
+}
+
+std::size_t RecordingSink::total_transfers() const noexcept {
+  std::size_t n = 0;
+  for (const Round& r : rounds_) {
+    n += r.transfers.size();
+  }
+  return n;
+}
+
+std::uint64_t RecordingSink::network_bytes() const noexcept {
+  std::uint64_t b = 0;
+  for (const Round& r : rounds_) {
+    for (const Transfer& t : r.transfers) {
+      if (t.src_rank != t.dst_rank) {
+        b += t.bytes;
+      }
+    }
+  }
+  return b;
+}
+
+void validate_round(const Round& round, int nranks) {
+  if (round.transfers.empty()) {
+    throw InvalidArgument("builders must not emit empty rounds");
+  }
+  for (const Transfer& t : round.transfers) {
+    // Hot path: only build diagnostic strings on failure.
+    if (t.src_rank < 0 || t.src_rank >= nranks) {
+      throw InvalidArgument("transfer src rank " + std::to_string(t.src_rank) +
+                            " out of range");
+    }
+    if (t.dst_rank < 0 || t.dst_rank >= nranks) {
+      throw InvalidArgument("transfer dst rank " + std::to_string(t.dst_rank) +
+                            " out of range");
+    }
+    if (t.bytes == 0) {
+      throw InvalidArgument("transfer must move at least one byte");
+    }
+  }
+}
+
+}  // namespace acclaim::minimpi

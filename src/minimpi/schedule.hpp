@@ -1,0 +1,100 @@
+// Round-based communication-schedule IR.
+//
+// Every collective algorithm is expressed as a sequence of *rounds*; a round
+// is a set of point-to-point transfers that proceed concurrently, and rounds
+// are globally ordered (the LogP-style level-synchronous view under which
+// these algorithms are normally analyzed). A schedule builder emits rounds
+// into a RoundSink, so the same builder drives both
+//  * the DataExecutor (byte-accurate buffer movement, for correctness), and
+//  * the CostExecutor (timing against a NetworkModel, for benchmarks),
+// without materializing multi-gigabyte schedules for large rank counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "minimpi/ops.hpp"
+
+namespace acclaim::minimpi {
+
+/// Which of a rank's three buffers a transfer touches.
+enum class BufKind : int { Send = 0, Recv = 1, Tmp = 2 };
+
+const char* buf_kind_name(BufKind k);
+
+/// One point-to-point data movement. src_rank == dst_rank denotes a local
+/// copy (no network involvement, only memory bandwidth).
+struct Transfer {
+  int src_rank = 0;
+  int dst_rank = 0;
+  BufKind src_buf = BufKind::Send;
+  BufKind dst_buf = BufKind::Recv;
+  std::uint64_t src_off = 0;  ///< byte offset into the source buffer
+  std::uint64_t dst_off = 0;  ///< byte offset into the destination buffer
+  std::uint64_t bytes = 0;
+  bool reduce = false;  ///< combine into dst with the schedule's ReduceOp
+};
+
+/// One level-synchronous communication step.
+struct Round {
+  std::vector<Transfer> transfers;
+
+  bool empty() const noexcept { return transfers.empty(); }
+
+  Round& add(Transfer t) {
+    transfers.push_back(t);
+    return *this;
+  }
+
+  /// Convenience constructor for a copy transfer between remote buffers.
+  static Transfer copy(int src_rank, BufKind src_buf, std::uint64_t src_off, int dst_rank,
+                       BufKind dst_buf, std::uint64_t dst_off, std::uint64_t bytes);
+
+  /// Convenience constructor for a reducing transfer.
+  static Transfer combine(int src_rank, BufKind src_buf, std::uint64_t src_off, int dst_rank,
+                          BufKind dst_buf, std::uint64_t dst_off, std::uint64_t bytes);
+};
+
+/// Receives rounds as a builder produces them.
+class RoundSink {
+ public:
+  virtual ~RoundSink() = default;
+  /// Called once per round, in schedule order. Empty rounds are skipped by
+  /// builders and must not be emitted.
+  virtual void on_round(const Round& round) = 0;
+};
+
+/// Sink that materializes the schedule (tests, debugging, small cases).
+class RecordingSink final : public RoundSink {
+ public:
+  void on_round(const Round& round) override { rounds_.push_back(round); }
+  const std::vector<Round>& rounds() const noexcept { return rounds_; }
+  std::size_t total_transfers() const noexcept;
+  /// Sum of bytes over all non-local transfers.
+  std::uint64_t network_bytes() const noexcept;
+
+ private:
+  std::vector<Round> rounds_;
+};
+
+/// Sink that forwards to several sinks (e.g. record + cost in one pass).
+class TeeSink final : public RoundSink {
+ public:
+  explicit TeeSink(std::vector<RoundSink*> sinks) : sinks_(std::move(sinks)) {}
+  void on_round(const Round& round) override {
+    for (RoundSink* s : sinks_) {
+      s->on_round(round);
+    }
+  }
+
+ private:
+  std::vector<RoundSink*> sinks_;
+};
+
+/// Validates a round against a rank count: ranks in range, non-zero sizes.
+/// (Alignment of reduce ranges is a DataExecutor concern: timing-only runs
+/// legitimately use byte-granular schedules.) Throws InvalidArgument with a
+/// description on violation.
+void validate_round(const Round& round, int nranks);
+
+}  // namespace acclaim::minimpi

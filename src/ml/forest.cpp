@@ -1,0 +1,93 @@
+#include "ml/forest.hpp"
+
+#include "util/error.hpp"
+
+namespace acclaim::ml {
+
+void RandomForest::fit(const std::vector<FeatureRow>& X, const std::vector<double>& y,
+                       const ForestParams& params, std::uint64_t seed) {
+  require(params.n_trees >= 1, "forest requires at least one tree");
+  require(!X.empty() && X.size() == y.size(), "forest requires non-empty, aligned X/y");
+  trees_.assign(static_cast<std::size_t>(params.n_trees), DecisionTree{});
+  util::Rng rng(seed);
+  std::vector<std::size_t> sample(X.size());
+  for (auto& tree : trees_) {
+    util::Rng tree_rng = rng.split();
+    if (params.bootstrap) {
+      for (auto& s : sample) {
+        s = tree_rng.index(X.size());
+      }
+      tree.fit(X, y, sample, params.tree, tree_rng);
+    } else {
+      tree.fit(X, y, params.tree, tree_rng);
+    }
+  }
+}
+
+double RandomForest::predict(const FeatureRow& row) const {
+  require(fitted(), "RandomForest::predict called before fit");
+  double sum = 0.0;
+  for (const auto& tree : trees_) {
+    sum += tree.predict(row);
+  }
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::predict_trees(const FeatureRow& row) const {
+  std::vector<double> out;
+  predict_trees(row, out);
+  return out;
+}
+
+void RandomForest::predict_trees(const FeatureRow& row, std::vector<double>& out) const {
+  require(fitted(), "RandomForest::predict_trees called before fit");
+  out.resize(trees_.size());
+  for (std::size_t i = 0; i < trees_.size(); ++i) {
+    out[i] = trees_[i].predict(row);
+  }
+}
+
+util::Json RandomForest::to_json() const {
+  require(fitted(), "cannot serialize an unfitted forest");
+  util::Json doc = util::Json::object();
+  doc["model"] = "acclaim-random-forest-v1";
+  util::Json trees = util::Json::array();
+  for (const DecisionTree& tree : trees_) {
+    trees.push_back(tree.to_json());
+  }
+  doc["trees"] = std::move(trees);
+  return doc;
+}
+
+RandomForest RandomForest::from_json(const util::Json& doc) {
+  require(doc.contains("model") && doc.at("model").as_string() == "acclaim-random-forest-v1",
+          "unknown forest serialization format");
+  RandomForest forest;
+  for (const util::Json& tree : doc.at("trees").as_array()) {
+    forest.trees_.push_back(DecisionTree::from_json(tree));
+  }
+  require(forest.fitted(), "serialized forest must contain at least one tree");
+  return forest;
+}
+
+double jackknife_variance(const std::vector<double>& values) {
+  const std::size_t n = values.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  const double mean = sum / static_cast<double>(n);
+  // The i-th jackknife sample is (sum - v_i) / (n - 1), so
+  // mean - sample_i = (v_i - mean) / (n - 1).
+  double acc = 0.0;
+  for (double v : values) {
+    const double d = (v - mean) / static_cast<double>(n - 1);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(n - 1);
+}
+
+}  // namespace acclaim::ml

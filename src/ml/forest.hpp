@@ -1,0 +1,50 @@
+// Random forest regressor (bootstrap-aggregated CART trees).
+#pragma once
+
+#include <vector>
+
+#include "ml/tree.hpp"
+
+namespace acclaim::ml {
+
+struct ForestParams {
+  int n_trees = 64;
+  bool bootstrap = true;
+  TreeParams tree;
+};
+
+/// scikit-style RandomForestRegressor: each tree fits a bootstrap resample;
+/// the forest predicts the mean of the trees. predict_trees() exposes the
+/// per-tree predictions the jackknife variance (§IV-A) needs.
+class RandomForest {
+ public:
+  void fit(const std::vector<FeatureRow>& X, const std::vector<double>& y,
+           const ForestParams& params, std::uint64_t seed);
+
+  bool fitted() const noexcept { return !trees_.empty(); }
+  std::size_t n_trees() const noexcept { return trees_.size(); }
+
+  /// Mean of the per-tree predictions.
+  double predict(const FeatureRow& row) const;
+
+  /// Per-tree predictions, in tree order.
+  std::vector<double> predict_trees(const FeatureRow& row) const;
+
+  /// Fills `out` (resized to n_trees) — allocation-free in hot loops.
+  void predict_trees(const FeatureRow& row, std::vector<double>& out) const;
+
+  /// Serializes the fitted forest. Requires fitted().
+  util::Json to_json() const;
+  /// Rebuilds a forest from to_json() output.
+  static RandomForest from_json(const util::Json& doc);
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+/// Jackknife variance of a set of values exactly as the paper defines it
+/// (§IV-A): the i-th jackknife sample is the mean with value i removed;
+/// variance = sum((mean - sample_i)^2) / (n - 1). Returns 0 for n < 2.
+double jackknife_variance(const std::vector<double>& values);
+
+}  // namespace acclaim::ml

@@ -1,0 +1,19 @@
+// Regression quality metrics.
+#pragma once
+
+#include <vector>
+
+namespace acclaim::ml {
+
+/// Mean absolute error. Requires equal non-zero lengths.
+double mae(const std::vector<double>& truth, const std::vector<double>& pred);
+
+/// Root mean squared error.
+double rmse(const std::vector<double>& truth, const std::vector<double>& pred);
+
+/// Coefficient of determination; 1 = perfect, 0 = predicts the mean,
+/// negative = worse than the mean. Returns 1 when truth has zero variance
+/// and predictions are exact, 0 otherwise.
+double r2(const std::vector<double>& truth, const std::vector<double>& pred);
+
+}  // namespace acclaim::ml

@@ -1,0 +1,72 @@
+#include "platform/app_model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace acclaim::platform {
+
+ApplicationModel::ApplicationModel(ApplicationProfile profile) : profile_(std::move(profile)) {
+  require(profile_.compute_s_per_iteration >= 0.0, "compute time must be non-negative");
+  for (const WorkloadItem& w : profile_.collectives) {
+    require(w.calls_per_iteration > 0.0, "call counts must be positive");
+  }
+}
+
+double ApplicationModel::collective_s_per_iteration(const core::Selector& select,
+                                                    const TimeSource& time_us) const {
+  double total_s = 0.0;
+  for (const WorkloadItem& w : profile_.collectives) {
+    const coll::Algorithm a = select(w.scenario);
+    total_s += w.calls_per_iteration * time_us(w.scenario, a) * 1e-6;
+  }
+  return total_s;
+}
+
+double ApplicationModel::iteration_s(const core::Selector& select,
+                                     const TimeSource& time_us) const {
+  return profile_.compute_s_per_iteration + collective_s_per_iteration(select, time_us);
+}
+
+double ApplicationModel::speedup(const core::Selector& tuned, const core::Selector& baseline,
+                                 const TimeSource& time_us) const {
+  return iteration_s(baseline, time_us) / iteration_s(tuned, time_us);
+}
+
+double ApplicationModel::collective_fraction(const core::Selector& baseline,
+                                             const TimeSource& time_us) const {
+  const double coll_s = collective_s_per_iteration(baseline, time_us);
+  return coll_s / (profile_.compute_s_per_iteration + coll_s);
+}
+
+double breakeven_runtime_s(double training_s, double app_speedup) {
+  require(training_s >= 0.0, "training time must be non-negative");
+  require(app_speedup > 1.0, "break-even requires a speedup greater than 1");
+  return training_s * app_speedup / (app_speedup - 1.0);
+}
+
+ApplicationProfile make_synthetic_app(const std::string& name, coll::Collective c, int nnodes,
+                                      int ppn, double collective_fraction,
+                                      const TimeSource& time_us, const core::Selector& baseline,
+                                      const std::vector<std::uint64_t>& msg_sizes) {
+  require(collective_fraction > 0.0 && collective_fraction < 1.0,
+          "collective fraction must be in (0, 1)");
+  require(!msg_sizes.empty(), "synthetic app needs at least one message size");
+  ApplicationProfile profile;
+  profile.name = name;
+  // Small control messages are frequent, bulk messages rare (geometric
+  // falloff), mirroring production profiles (Chunduri et al.).
+  double calls = 40.0;
+  for (std::uint64_t msg : msg_sizes) {
+    profile.collectives.push_back(WorkloadItem{bench::Scenario{c, nnodes, ppn, msg}, calls});
+    calls = std::max(0.5, calls / 3.0);
+  }
+  // Size compute time so collectives are the requested fraction under the
+  // baseline selections.
+  ApplicationModel probe(profile);
+  const double coll_s = probe.collective_s_per_iteration(baseline, time_us);
+  profile.compute_s_per_iteration = coll_s * (1.0 - collective_fraction) / collective_fraction;
+  return profile;
+}
+
+}  // namespace acclaim::platform

@@ -1,0 +1,74 @@
+// Application-level accounting: how collective algorithm selection changes
+// whole-application runtime, and when ACCLAiM's training cost amortizes
+// (Fig. 15).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "benchdata/point.hpp"
+#include "core/evaluator.hpp"
+
+namespace acclaim::platform {
+
+/// One collective call site in the application's inner loop.
+struct WorkloadItem {
+  bench::Scenario scenario;
+  double calls_per_iteration = 1.0;
+};
+
+/// A (synthetic) HPC application: compute time plus a collective call mix
+/// per outer iteration.
+struct ApplicationProfile {
+  std::string name;
+  double compute_s_per_iteration = 1.0;
+  std::vector<WorkloadItem> collectives;
+};
+
+/// Provides the measured latency of (scenario, algorithm) — typically a
+/// Dataset lookup or a live microbenchmark.
+using TimeSource = std::function<double(const bench::Scenario&, coll::Algorithm)>;
+
+class ApplicationModel {
+ public:
+  explicit ApplicationModel(ApplicationProfile profile);
+
+  const ApplicationProfile& profile() const noexcept { return profile_; }
+
+  /// Time spent in collectives per iteration under a selection policy.
+  double collective_s_per_iteration(const core::Selector& select,
+                                    const TimeSource& time_us) const;
+
+  /// Full iteration time (compute + collectives).
+  double iteration_s(const core::Selector& select, const TimeSource& time_us) const;
+
+  /// Application speedup of selector `tuned` over selector `baseline`.
+  double speedup(const core::Selector& tuned, const core::Selector& baseline,
+                 const TimeSource& time_us) const;
+
+  /// Fraction of baseline iteration time spent in collectives.
+  double collective_fraction(const core::Selector& baseline, const TimeSource& time_us) const;
+
+ private:
+  ApplicationProfile profile_;
+};
+
+/// Fig. 15: the minimum application runtime (seconds, measured under the
+/// default selections) for which training time `training_s` is recouped by
+/// an application speedup `s` > 1:  R/s + T <= R  =>  R >= T * s / (s - 1).
+/// Throws InvalidArgument for s <= 1 (no speedup never amortizes).
+double breakeven_runtime_s(double training_s, double app_speedup);
+
+/// A synthetic application profile dominated by the given collective, with
+/// `collective_fraction` of its baseline time in collectives. The scenarios
+/// span the job's (nodes, ppn) over `msg_sizes` (small control messages are
+/// weighted as more frequent, bulk messages as rare, mirroring production
+/// profiles from Chunduri et al.). Pass the message sizes your time source
+/// can actually serve; the default spans 64 B .. 1 MiB.
+ApplicationProfile make_synthetic_app(
+    const std::string& name, coll::Collective c, int nnodes, int ppn,
+    double collective_fraction, const TimeSource& time_us, const core::Selector& baseline,
+    const std::vector<std::uint64_t>& msg_sizes = {64, 1024, 16384, 262144, 1048576});
+
+}  // namespace acclaim::platform

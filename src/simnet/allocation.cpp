@@ -1,0 +1,165 @@
+#include "simnet/allocation.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace acclaim::simnet {
+
+Allocation::Allocation(std::vector<int> nodes) : nodes_(std::move(nodes)) {
+  require(!nodes_.empty(), "allocation must contain at least one node");
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    require(nodes_[i] > nodes_[i - 1], "allocation node ids must be strictly increasing");
+  }
+}
+
+int Allocation::node(int index) const {
+  require(index >= 0 && index < num_nodes(), "allocation node index out of range");
+  return nodes_[static_cast<std::size_t>(index)];
+}
+
+int Allocation::node_of_rank(int rank, int ppn) const {
+  require(ppn >= 1, "ppn must be >= 1");
+  require(rank >= 0 && rank < num_nodes() * ppn, "rank out of range for allocation");
+  return nodes_[static_cast<std::size_t>(rank / ppn)];
+}
+
+int Allocation::racks_touched(const Topology& topo) const {
+  std::set<int> racks;
+  for (int n : nodes_) {
+    racks.insert(topo.rack_of(n));
+  }
+  return static_cast<int>(racks.size());
+}
+
+int Allocation::pairs_touched(const Topology& topo) const {
+  std::set<int> pairs;
+  for (int n : nodes_) {
+    pairs.insert(topo.pair_of(n));
+  }
+  return static_cast<int>(pairs.size());
+}
+
+Allocation Allocation::slice(int first, int count) const {
+  require(first >= 0 && count >= 1 && first + count <= num_nodes(),
+          "allocation slice out of range");
+  return Allocation(std::vector<int>(nodes_.begin() + first, nodes_.begin() + first + count));
+}
+
+JobScheduler::JobScheduler(const Topology& topo, double busy_fraction, util::Rng rng)
+    : topo_(topo), busy_(static_cast<std::size_t>(topo.total_nodes()), false), rng_(rng) {
+  require(busy_fraction >= 0.0 && busy_fraction < 1.0, "busy_fraction must be in [0, 1)");
+  // Occupy contiguous runs of random length until the target fraction is
+  // reached; this produces the fragmented free list a production machine has.
+  const int target = static_cast<int>(busy_fraction * topo.total_nodes());
+  int occupied = 0;
+  int guard = 0;
+  while (occupied < target && guard++ < 100000) {
+    const int run = static_cast<int>(rng_.uniform_int(1, std::max<std::int64_t>(
+                                                             1, topo.total_nodes() / 32)));
+    const int start = static_cast<int>(rng_.uniform_int(0, topo.total_nodes() - 1));
+    for (int i = start; i < std::min(start + run, topo.total_nodes()) && occupied < target; ++i) {
+      if (!busy_[static_cast<std::size_t>(i)]) {
+        busy_[static_cast<std::size_t>(i)] = true;
+        ++occupied;
+      }
+    }
+  }
+}
+
+Allocation JobScheduler::allocate(int n_nodes) {
+  require(n_nodes >= 1, "allocation size must be >= 1");
+  std::vector<int> nodes;
+  nodes.reserve(static_cast<std::size_t>(n_nodes));
+  for (int i = 0; i < topo_.total_nodes() && static_cast<int>(nodes.size()) < n_nodes; ++i) {
+    if (!busy_[static_cast<std::size_t>(i)]) {
+      nodes.push_back(i);
+    }
+  }
+  require(static_cast<int>(nodes.size()) == n_nodes,
+          "not enough free nodes for allocation of " + std::to_string(n_nodes));
+  for (int n : nodes) {
+    busy_[static_cast<std::size_t>(n)] = true;
+  }
+  return Allocation(std::move(nodes));
+}
+
+Allocation JobScheduler::allocate_contiguous(int first, int n_nodes) const {
+  require(first >= 0 && n_nodes >= 1 && first + n_nodes <= topo_.total_nodes(),
+          "contiguous allocation out of machine range");
+  std::vector<int> nodes(static_cast<std::size_t>(n_nodes));
+  for (int i = 0; i < n_nodes; ++i) {
+    nodes[static_cast<std::size_t>(i)] = first + i;
+  }
+  return Allocation(std::move(nodes));
+}
+
+int JobScheduler::free_nodes() const {
+  int free = 0;
+  for (bool b : busy_) {
+    if (!b) {
+      ++free;
+    }
+  }
+  return free;
+}
+
+void JobScheduler::release(const Allocation& alloc) {
+  for (int n : alloc.nodes()) {
+    require(n >= 0 && n < topo_.total_nodes(), "release: node out of range");
+    busy_[static_cast<std::size_t>(n)] = false;
+  }
+}
+
+Allocation fig13_placement(const Topology& topo, const std::string& kind, int n_nodes) {
+  const int npr = topo.machine().nodes_per_rack;
+  const int rpp = topo.machine().racks_per_pair;
+  std::vector<int> nodes;
+  nodes.reserve(static_cast<std::size_t>(n_nodes));
+  if (kind == "single-rack") {
+    require(n_nodes <= npr, "single-rack placement needs n_nodes <= nodes_per_rack");
+    for (int i = 0; i < n_nodes; ++i) {
+      nodes.push_back(i);
+    }
+  } else if (kind == "single-pair") {
+    // Spread evenly over the racks of the first pair.
+    require(n_nodes <= npr * rpp, "single-pair placement too large");
+    const int per_rack = (n_nodes + rpp - 1) / rpp;
+    int remaining = n_nodes;
+    for (int r = 0; r < rpp && remaining > 0; ++r) {
+      const int take = std::min(per_rack, remaining);
+      for (int i = 0; i < take; ++i) {
+        nodes.push_back(r * npr + i);
+      }
+      remaining -= take;
+    }
+  } else if (kind == "two-pairs") {
+    // Spread evenly over the four racks of the first two pairs.
+    const int racks = 2 * rpp;
+    require(n_nodes <= npr * racks, "two-pairs placement too large");
+    const int per_rack = (n_nodes + racks - 1) / racks;
+    int remaining = n_nodes;
+    for (int r = 0; r < racks && remaining > 0; ++r) {
+      const int take = std::min(per_rack, remaining);
+      for (int i = 0; i < take; ++i) {
+        nodes.push_back(r * npr + i);
+      }
+      remaining -= take;
+    }
+  } else if (kind == "max-parallel") {
+    // One node per rack, racks chosen from distinct pairs where possible:
+    // rack stride of racks_per_pair guarantees distinct pairs.
+    require(n_nodes <= topo.num_pairs(), "max-parallel placement needs n_nodes <= num_pairs");
+    for (int i = 0; i < n_nodes; ++i) {
+      nodes.push_back(i * rpp * npr);
+    }
+  } else {
+    throw InvalidArgument("unknown Fig. 13 placement kind '" + kind + "'");
+  }
+  std::sort(nodes.begin(), nodes.end());
+  return Allocation(std::move(nodes));
+}
+
+}  // namespace acclaim::simnet

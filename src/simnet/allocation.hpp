@@ -1,0 +1,76 @@
+// Job node allocations and the best-effort scheduler.
+//
+// Theta's scheduler provides no guarantee that a job's nodes are near each
+// other (§II-B2); an allocation's spread across racks and pairs is the main
+// driver of per-job network variability. The JobScheduler emulates a busy
+// machine: a random fraction of nodes is occupied and a job receives the
+// lowest-numbered free nodes, which yields realistic fragmentation.
+#pragma once
+
+#include <vector>
+
+#include "simnet/topology.hpp"
+#include "util/rng.hpp"
+
+namespace acclaim::simnet {
+
+/// An ordered set of node ids granted to a job. Ranks are block-mapped onto
+/// the allocation: rank r runs on nodes[r / ppn].
+class Allocation {
+ public:
+  Allocation() = default;
+  explicit Allocation(std::vector<int> nodes);
+
+  int num_nodes() const noexcept { return static_cast<int>(nodes_.size()); }
+  const std::vector<int>& nodes() const noexcept { return nodes_; }
+  int node(int index) const;
+
+  /// Node hosting rank `rank` when running `ppn` ranks per node.
+  /// Requires 0 <= rank < num_nodes()*ppn.
+  int node_of_rank(int rank, int ppn) const;
+
+  /// Number of distinct racks / pairs this allocation touches.
+  int racks_touched(const Topology& topo) const;
+  int pairs_touched(const Topology& topo) const;
+
+  /// Sub-allocation using nodes [first, first+count).
+  Allocation slice(int first, int count) const;
+
+ private:
+  std::vector<int> nodes_;  // strictly increasing node ids
+};
+
+/// Allocates nodes from a machine for jobs.
+class JobScheduler {
+ public:
+  /// `busy_fraction` of nodes are pre-occupied by other users' jobs
+  /// (clustered in contiguous runs, like real schedulers leave the machine).
+  JobScheduler(const Topology& topo, double busy_fraction, util::Rng rng);
+
+  /// Best-effort allocation: the `n_nodes` lowest-numbered free nodes.
+  /// Throws InvalidArgument if fewer than n_nodes are free.
+  Allocation allocate(int n_nodes);
+
+  /// Contiguous allocation starting at node `first` (for controlled
+  /// experiments such as the Fig. 13 placement topologies). Ignores
+  /// occupancy. Throws if out of range.
+  Allocation allocate_contiguous(int first, int n_nodes) const;
+
+  /// Nodes currently free.
+  int free_nodes() const;
+
+  /// Release a previous allocation's nodes.
+  void release(const Allocation& alloc);
+
+ private:
+  const Topology& topo_;
+  std::vector<bool> busy_;
+  util::Rng rng_;
+};
+
+/// Builds the four placement topologies evaluated in Fig. 13 for a machine
+/// with >= 4 rack pairs: "single-rack", "single-pair", "two-pairs", and
+/// "max-parallel" (one node per rack, all racks in distinct pairs).
+Allocation fig13_placement(const Topology& topo, const std::string& kind, int n_nodes);
+
+}  // namespace acclaim::simnet

@@ -1,0 +1,108 @@
+#include "simnet/machine.hpp"
+
+#include "util/error.hpp"
+
+namespace acclaim::simnet {
+
+const char* link_class_name(LinkClass c) {
+  switch (c) {
+    case LinkClass::IntraNode: return "intra-node";
+    case LinkClass::IntraRack: return "intra-rack";
+    case LinkClass::IntraPair: return "intra-pair";
+    case LinkClass::Global: return "global";
+  }
+  return "?";
+}
+
+int MachineConfig::num_racks() const {
+  return (total_nodes + nodes_per_rack - 1) / nodes_per_rack;
+}
+
+int MachineConfig::num_pairs() const {
+  return (num_racks() + racks_per_pair - 1) / racks_per_pair;
+}
+
+void MachineConfig::validate() const {
+  require(total_nodes >= 1, "machine must have at least one node");
+  require(nodes_per_rack >= 1, "rack must hold at least one node");
+  require(racks_per_pair >= 1, "pair must hold at least one rack");
+  require(cores_per_node >= 1, "node must have at least one core");
+  for (double a : net.alpha_us) {
+    require(a >= 0.0, "link latency must be non-negative");
+  }
+  for (double b : net.bandwidth_Bpus) {
+    require(b > 0.0, "link bandwidth must be positive");
+  }
+  require(net.rack_uplink_capacity >= 1, "rack uplink capacity must be >= 1");
+  require(net.global_link_capacity >= 1, "global link capacity must be >= 1");
+  require(net.contention_cap >= 1.0, "contention cap must be >= 1");
+  require(net.unaligned_beta_penalty >= 0.0, "unaligned penalty must be non-negative");
+  require(net.rendezvous_alpha_factor >= 1.0, "rendezvous factor must be >= 1");
+  require(net.chunk_bytes >= 1, "chunk size must be positive");
+  require(net.chunk_overhead_us >= 0.0, "chunk overhead must be non-negative");
+}
+
+MachineConfig bebop_like() {
+  MachineConfig m;
+  m.name = "bebop-like";
+  m.total_nodes = 64;
+  m.nodes_per_rack = 16;
+  m.racks_per_pair = 2;
+  m.cores_per_node = 32;
+  // Broadwell + Omni-Path-class fabric: slightly lower latency, higher
+  // per-node bandwidth than the KNL machine.
+  m.net.alpha_us = {0.25, 0.9, 1.4, 2.0};
+  m.net.bandwidth_Bpus = {14000.0, 9000.0, 7000.0, 5500.0};
+  m.validate();
+  return m;
+}
+
+MachineConfig theta_like() {
+  MachineConfig m;
+  m.name = "theta-like";
+  m.total_nodes = 4392;
+  m.nodes_per_rack = 64;
+  m.racks_per_pair = 2;
+  m.cores_per_node = 64;
+  // KNL cores are slow; per-byte reduce cost is higher, latencies a bit
+  // higher, Aries global layer well provisioned.
+  m.net.alpha_us = {0.5, 1.2, 1.9, 2.6};
+  m.net.bandwidth_Bpus = {10000.0, 8500.0, 7000.0, 6000.0};
+  m.net.reduce_compute_us_per_byte = 2.0e-4;
+  m.net.job_latency_sigma = 0.30;
+  m.validate();
+  return m;
+}
+
+MachineConfig fat_tree_like() {
+  MachineConfig m;
+  m.name = "fat-tree-like";
+  m.total_nodes = 1024;
+  m.nodes_per_rack = 32;   // nodes per leaf switch
+  m.racks_per_pair = 4;    // leaf switches per aggregation pod
+  m.cores_per_node = 32;
+  // InfiniBand-class: low, uniform latency; near-full bisection means the
+  // upper layers rarely serialize.
+  m.net.alpha_us = {0.25, 1.0, 1.3, 1.7};
+  m.net.bandwidth_Bpus = {14000.0, 12000.0, 11000.0, 10000.0};
+  m.net.rack_uplink_capacity = 16;   // ~half the leaf's downlinks go up
+  m.net.global_link_capacity = 32;
+  m.net.job_latency_sigma = 0.15;    // uniform paths: less per-job spread
+  m.validate();
+  return m;
+}
+
+MachineConfig tiny_test_machine() {
+  MachineConfig m;
+  m.name = "tiny-test";
+  m.total_nodes = 8;
+  m.nodes_per_rack = 2;
+  m.racks_per_pair = 2;
+  m.cores_per_node = 4;
+  m.net.job_latency_sigma = 0.0;
+  m.net.background_congestion_sigma = 0.0;
+  m.validate();
+  return m;
+}
+
+}  // namespace acclaim::simnet

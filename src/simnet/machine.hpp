@@ -1,0 +1,113 @@
+// Machine descriptions for the simulated HPC systems.
+//
+// The paper evaluates on two machines:
+//  * a Bebop-like cluster (64 nodes, Xeon E5-2695v4, 36 cores of which the
+//    dataset uses up to 32) for the precollected simulated experiments, and
+//  * Theta (4,392 nodes, KNL 64 cores, Aries Dragonfly) for production runs.
+// We model both as Dragonfly-style machines: nodes grouped into racks
+// (layer 1), racks paired (layer 2), pairs connected by a global layer
+// (layer 3) — the simplified topology of the paper's Fig. 8.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace acclaim::simnet {
+
+/// The four communication distance classes in the simplified Dragonfly.
+enum class LinkClass : int {
+  IntraNode = 0,  ///< both ranks on the same node (shared memory)
+  IntraRack = 1,  ///< same rack, layer-1 links
+  IntraPair = 2,  ///< paired racks, layer-2 links
+  Global = 3,     ///< across rack pairs, layer-3 links
+};
+
+constexpr int kNumLinkClasses = 4;
+
+const char* link_class_name(LinkClass c);
+
+/// Latency/bandwidth parameters of the interconnect plus the knobs that make
+/// jobs on a busy production machine differ from one another.
+struct NetworkParams {
+  /// Per-class base latency (alpha) in microseconds.
+  std::array<double, kNumLinkClasses> alpha_us{0.3, 1.0, 1.6, 2.3};
+  /// Per-class bandwidth in bytes per microsecond (1 GB/s ~ 1000 B/us).
+  std::array<double, kNumLinkClasses> bandwidth_Bpus{12000.0, 8000.0, 6000.0, 4500.0};
+  /// Log-stddev of the per-job latency multiplier. The paper reports >2x
+  /// latency differences between allocations of the same job size (§II-B2).
+  double job_latency_sigma = 0.25;
+  /// Multiplicative noise on the global layer from co-running applications.
+  double background_congestion_sigma = 0.10;
+  /// Per-communication-round synchronization overhead in microseconds.
+  double round_overhead_us = 0.4;
+  /// Cost of reducing one byte on the CPU (us/byte); charged on reduce
+  /// transfers at the destination.
+  double reduce_compute_us_per_byte = 1.2e-4;
+  /// Cost of a local (same-rank) buffer copy (us/byte).
+  double local_copy_us_per_byte = 2.5e-5;
+  /// Concurrent full-bandwidth flows a rack uplink sustains before
+  /// serializing (layer-2 capacity).
+  int rack_uplink_capacity = 4;
+  /// Concurrent full-bandwidth flows the global layer sustains per pair.
+  int global_link_capacity = 8;
+  /// Upper bound on any contention multiplier: adaptive routing (Aries
+  /// spreads flows over minimal and non-minimal paths) bounds worst-case
+  /// serialization even under heavy incast.
+  double contention_cap = 8.0;
+  /// Extra per-byte cost multiplier for transfers whose size or offsets are
+  /// not 8-byte aligned: unaligned copies and packetization fall off the
+  /// fast path. This is what makes non-power-of-two message sizes behave
+  /// differently *per algorithm* (scatter-based schedules produce ragged,
+  /// misaligned blocks; full-vector schedules do not) — the §III-B effect.
+  double unaligned_beta_penalty = 0.25;
+  /// Eager/rendezvous protocol switch: transfers larger than this pay the
+  /// handshake (alpha multiplied by rendezvous_alpha_factor). Each
+  /// algorithm's *per-transfer* size crosses this boundary at a different
+  /// total message size (full-vector at eager_threshold, an n-way scatter
+  /// at n*eager_threshold), so algorithm rankings genuinely flip between
+  /// power-of-two grid anchors — the non-P2 trend a P2-trained model cannot
+  /// interpolate (§III-B, Fig. 5).
+  std::uint64_t eager_threshold_bytes = 8192;
+  double rendezvous_alpha_factor = 3.0;
+  /// NIC segmentation: transfers are cut into chunks; every chunk beyond
+  /// the first pays a per-chunk processing overhead, giving latency curves
+  /// their real sawtooth between P2 sizes.
+  std::uint64_t chunk_bytes = 16384;
+  double chunk_overhead_us = 1.5;
+};
+
+/// Static description of a machine.
+struct MachineConfig {
+  std::string name;
+  int total_nodes = 64;
+  int nodes_per_rack = 16;
+  int racks_per_pair = 2;
+  int cores_per_node = 32;
+  NetworkParams net;
+
+  int num_racks() const;
+  int num_pairs() const;
+
+  /// Validates invariants (positive sizes, at least one rack); throws
+  /// InvalidArgument on violation.
+  void validate() const;
+};
+
+/// 64-node Bebop-like cluster used for the precollected dataset experiments.
+MachineConfig bebop_like();
+
+/// Theta-like leadership machine (4,392 nodes, 64 hardware threads/node).
+MachineConfig theta_like();
+
+/// Three-level fat-tree cluster (the paper's §IV-D notes non-Dragonfly
+/// machines need methodology tweaks; a fat tree maps onto the same
+/// hierarchy — leaf switch = "rack", aggregation pod = "pair", core =
+/// global — with near-full-bisection capacities, so the topology-aware
+/// collection scheduler works unchanged and simply finds more parallelism).
+MachineConfig fat_tree_like();
+
+/// Small machine for unit tests (fast, deterministic).
+MachineConfig tiny_test_machine();
+
+}  // namespace acclaim::simnet

@@ -1,0 +1,36 @@
+#include "simnet/network.hpp"
+
+#include <algorithm>
+
+namespace acclaim::simnet {
+
+NetworkModel::NetworkModel(const Topology& topo, std::uint64_t job_seed) : topo_(topo) {
+  util::Rng rng(job_seed);
+  const NetworkParams& p = topo.machine().net;
+  // Clamp the multiplier so pathological draws cannot dominate experiments;
+  // the paper reports "over 2x" spread, which a clamp at 2.5 preserves.
+  lat_mult_ = std::clamp(rng.lognormal_median(1.0, p.job_latency_sigma), 0.7, 2.5);
+  bg_global_ = std::max(1.0, rng.lognormal_median(1.0, p.background_congestion_sigma));
+}
+
+double NetworkModel::alpha_us(LinkClass c) const {
+  const auto i = static_cast<std::size_t>(c);
+  double a = params().alpha_us[i] * lat_mult_;
+  return a;
+}
+
+double NetworkModel::beta_us_per_byte(LinkClass c) const {
+  const auto i = static_cast<std::size_t>(c);
+  double beta = 1.0 / params().bandwidth_Bpus[i];
+  if (c == LinkClass::Global) {
+    beta *= bg_global_;
+  }
+  return beta;
+}
+
+double NetworkModel::transfer_time_us(int src_node, int dst_node, std::uint64_t bytes) const {
+  const LinkClass c = topo_.link_class(src_node, dst_node);
+  return alpha_us(c) + static_cast<double>(bytes) * beta_us_per_byte(c);
+}
+
+}  // namespace acclaim::simnet

@@ -1,0 +1,53 @@
+// Per-job network performance model.
+//
+// Transfer cost follows the postal/LogGP family: alpha + bytes/bandwidth,
+// where alpha and bandwidth depend on the link class (intra-node, intra-rack,
+// intra-pair, global). Two job-level effects reproduce the paper's observed
+// non-programmatic variability (§II-B2/§II-B3):
+//  * a per-job latency multiplier (lognormal; >2x spread between allocations
+//    was measured on Theta), and
+//  * background congestion on the global layer from co-running applications.
+#pragma once
+
+#include <cstdint>
+
+#include "simnet/topology.hpp"
+#include "util/rng.hpp"
+
+namespace acclaim::simnet {
+
+/// Immutable per-job view of the interconnect.
+class NetworkModel {
+ public:
+  /// `job_seed` determines this job's latency multiplier and congestion
+  /// level; two jobs with different seeds see a different network, exactly
+  /// like two allocations on Theta do.
+  NetworkModel(const Topology& topo, std::uint64_t job_seed);
+
+  const Topology& topology() const noexcept { return topo_; }
+
+  /// Effective latency in microseconds for one message on a link class.
+  double alpha_us(LinkClass c) const;
+
+  /// Effective per-byte time (inverse bandwidth) in us/byte.
+  double beta_us_per_byte(LinkClass c) const;
+
+  /// Uncongested time for a single transfer of `bytes` between two nodes.
+  double transfer_time_us(int src_node, int dst_node, std::uint64_t bytes) const;
+
+  /// This job's latency multiplier (1.0 = nominal network).
+  double job_latency_multiplier() const noexcept { return lat_mult_; }
+
+  /// This job's background multiplier on global-layer bandwidth terms
+  /// (>= 1.0; production neighbors steal layer-3 bandwidth).
+  double background_global_factor() const noexcept { return bg_global_; }
+
+  const NetworkParams& params() const noexcept { return topo_.machine().net; }
+
+ private:
+  const Topology& topo_;
+  double lat_mult_;
+  double bg_global_;
+};
+
+}  // namespace acclaim::simnet

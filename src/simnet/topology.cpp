@@ -1,0 +1,63 @@
+#include "simnet/topology.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace acclaim::simnet {
+
+Topology::Topology(MachineConfig config) : config_(std::move(config)) {
+  config_.validate();
+  num_racks_ = config_.num_racks();
+  num_pairs_ = config_.num_pairs();
+}
+
+void Topology::check_node(int node) const {
+  if (node < 0 || node >= config_.total_nodes) {
+    throw InvalidArgument("node id " + std::to_string(node) + " out of range [0, " +
+                          std::to_string(config_.total_nodes) + ")");
+  }
+}
+
+int Topology::rack_of(int node) const {
+  check_node(node);
+  return node / config_.nodes_per_rack;
+}
+
+int Topology::pair_of_rack(int rack) const {
+  if (rack < 0 || rack >= num_racks_) {
+    throw InvalidArgument("rack id out of range");
+  }
+  return rack / config_.racks_per_pair;
+}
+
+int Topology::pair_of(int node) const { return pair_of_rack(rack_of(node)); }
+
+int Topology::rack_first_node(int rack) const {
+  require(rack >= 0 && rack < num_racks_, "rack id out of range");
+  return rack * config_.nodes_per_rack;
+}
+
+int Topology::rack_size(int rack) const {
+  require(rack >= 0 && rack < num_racks_, "rack id out of range");
+  return std::min(config_.nodes_per_rack, config_.total_nodes - rack_first_node(rack));
+}
+
+LinkClass Topology::link_class(int node_a, int node_b) const {
+  check_node(node_a);
+  check_node(node_b);
+  if (node_a == node_b) {
+    return LinkClass::IntraNode;
+  }
+  const int rack_a = node_a / config_.nodes_per_rack;
+  const int rack_b = node_b / config_.nodes_per_rack;
+  if (rack_a == rack_b) {
+    return LinkClass::IntraRack;
+  }
+  if (pair_of_rack(rack_a) == pair_of_rack(rack_b)) {
+    return LinkClass::IntraPair;
+  }
+  return LinkClass::Global;
+}
+
+}  // namespace acclaim::simnet

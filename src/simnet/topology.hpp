@@ -1,0 +1,46 @@
+// Dragonfly-style topology queries (paper Fig. 8).
+#pragma once
+
+#include "simnet/machine.hpp"
+
+namespace acclaim::simnet {
+
+/// Maps global node ids to racks and rack pairs and classifies node-to-node
+/// links. Nodes are numbered sequentially within a rack and across racks,
+/// exactly as the paper's Fig. 8 describes.
+class Topology {
+ public:
+  explicit Topology(MachineConfig config);
+
+  const MachineConfig& machine() const noexcept { return config_; }
+  int total_nodes() const noexcept { return config_.total_nodes; }
+  int num_racks() const noexcept { return num_racks_; }
+  int num_pairs() const noexcept { return num_pairs_; }
+
+  /// Rack index of a node. Node ids must be in [0, total_nodes).
+  int rack_of(int node) const;
+
+  /// Rack-pair index of a node.
+  int pair_of(int node) const;
+
+  /// Rack-pair index of a rack.
+  int pair_of_rack(int rack) const;
+
+  /// First node id in a rack.
+  int rack_first_node(int rack) const;
+
+  /// Number of nodes in a rack (the last rack may be partial).
+  int rack_size(int rack) const;
+
+  /// Distance class between two nodes (same node -> IntraNode).
+  LinkClass link_class(int node_a, int node_b) const;
+
+ private:
+  void check_node(int node) const;
+
+  MachineConfig config_;
+  int num_racks_;
+  int num_pairs_;
+};
+
+}  // namespace acclaim::simnet

@@ -1,0 +1,126 @@
+#include "traces/traces.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace acclaim::traces {
+
+std::vector<AppTraceSpec> llnl_like_apps() {
+  using coll::Collective;
+  std::vector<AppTraceSpec> apps;
+
+  // Calibration targets (per-app non-P2 fractions averaging ~15.7%; the
+  // aggregate is asserted by tests and reproduced in the Fig. 4 bench).
+  AppTraceSpec amg;
+  amg.name = "AMG";
+  amg.p2_count_prob = 0.88;  // multigrid levels are mostly P2, coarse grids not
+  amg.type_sizes = {8};
+  amg.min_count_log2 = 0;
+  amg.max_count_log2 = 14;
+  amg.mix = {{Collective::Allreduce, 0.7}, {Collective::Bcast, 0.3}};
+  apps.push_back(amg);
+
+  AppTraceSpec lammps;
+  lammps.name = "LAMMPS";
+  lammps.p2_count_prob = 0.82;  // per-atom buffers vary with density
+  lammps.type_sizes = {4, 8};
+  lammps.min_count_log2 = 1;
+  lammps.max_count_log2 = 16;
+  lammps.mix = {{Collective::Allreduce, 0.55},
+                {Collective::Bcast, 0.25},
+                {Collective::Allgather, 0.20}};
+  apps.push_back(lammps);
+
+  AppTraceSpec nekbone;
+  nekbone.name = "Nekbone";
+  nekbone.p2_count_prob = 0.90;  // spectral elements: highly regular
+  nekbone.type_sizes = {8};
+  nekbone.min_count_log2 = 0;
+  nekbone.max_count_log2 = 12;
+  nekbone.mix = {{Collective::Allreduce, 0.9}, {Collective::Reduce, 0.1}};
+  apps.push_back(nekbone);
+
+  AppTraceSpec paradis;
+  paradis.name = "ParaDis";
+  paradis.p2_count_prob = 0.77;  // dislocation segments: irregular by nature
+  paradis.type_sizes = {4, 8};
+  paradis.min_count_log2 = 2;
+  paradis.max_count_log2 = 17;
+  paradis.mix = {{Collective::Allgather, 0.4},
+                 {Collective::Allreduce, 0.4},
+                 {Collective::Bcast, 0.2}};
+  paradis.has_large_scale_data = false;  // 1024-node trace unavailable (Fig. 4)
+  apps.push_back(paradis);
+
+  return apps;
+}
+
+std::vector<CollectiveCall> generate_trace(const AppTraceSpec& spec, int scale_nodes,
+                                           std::size_t n_calls, util::Rng& rng) {
+  require(n_calls >= 1, "trace must contain at least one call");
+  require(scale_nodes >= 1, "scale must be at least one node");
+  require(!spec.mix.empty(), "app spec must name at least one collective");
+  require(!spec.type_sizes.empty(), "app spec must have at least one datatype");
+  require(spec.min_count_log2 >= 0 && spec.min_count_log2 <= spec.max_count_log2,
+          "bad count range");
+
+  double mix_total = 0.0;
+  for (const auto& [c, w] : spec.mix) {
+    require(w >= 0.0, "mix weights must be non-negative");
+    mix_total += w;
+  }
+  require(mix_total > 0.0, "mix weights must not all be zero");
+
+  // Scale perturbs the P2 probability only marginally (paper: per-app
+  // percentages are nearly identical at 128 and 1024 nodes).
+  const double scale_shift = 0.004 * std::log2(static_cast<double>(scale_nodes));
+  const double p2_prob = std::clamp(spec.p2_count_prob - scale_shift, 0.0, 1.0);
+
+  std::vector<CollectiveCall> trace;
+  trace.reserve(n_calls);
+  for (std::size_t i = 0; i < n_calls; ++i) {
+    // Pick the collective by mix weight.
+    double pick = rng.uniform(0.0, mix_total);
+    coll::Collective c = spec.mix.begin()->first;
+    for (const auto& [cand, w] : spec.mix) {
+      if (pick < w) {
+        c = cand;
+        break;
+      }
+      pick -= w;
+    }
+    // Element count: either an exact power of two or an irregular count in
+    // the same octave.
+    const int lg = static_cast<int>(rng.uniform_int(spec.min_count_log2, spec.max_count_log2));
+    std::uint64_t count = 1ULL << lg;
+    if (!rng.chance(p2_prob) && lg >= 2) {
+      const std::uint64_t lo = count + 1;
+      const std::uint64_t hi = count * 2 - 1;
+      count = static_cast<std::uint64_t>(
+          rng.uniform_int(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
+    }
+    const std::uint64_t ts = spec.type_sizes[rng.index(spec.type_sizes.size())];
+    trace.push_back(CollectiveCall{c, count * ts});
+  }
+  return trace;
+}
+
+TraceProfile profile_trace(const std::vector<CollectiveCall>& trace) {
+  TraceProfile p;
+  p.total_calls = trace.size();
+  for (const CollectiveCall& call : trace) {
+    if (!util::is_power_of_two(call.msg_bytes)) {
+      ++p.nonp2_calls;
+    }
+    ++p.calls_per_collective[call.collective];
+  }
+  p.pct_nonp2 = p.total_calls == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(p.nonp2_calls) /
+                          static_cast<double>(p.total_calls);
+  return p;
+}
+
+}  // namespace acclaim::traces

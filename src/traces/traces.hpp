@@ -1,0 +1,67 @@
+// Synthetic application collective-call traces.
+//
+// Substitution note (see DESIGN.md): the paper profiles collective message
+// sizes from LLNL Open Data Initiative traces of four production
+// applications at two job scales (Fig. 4) and finds 15.7% of message sizes
+// non-power-of-two. Those traces are not available offline, so this module
+// generates synthetic traces whose structure matches how the sizes arise in
+// practice: datatypes have P2 byte sizes (int, double), so a message is
+// non-P2 exactly when the application sends a non-P2 *count* of elements —
+// which mesh-derived and irregular workloads frequently do.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "collectives/types.hpp"
+#include "util/rng.hpp"
+
+namespace acclaim::traces {
+
+/// One collective invocation observed in a trace.
+struct CollectiveCall {
+  coll::Collective collective = coll::Collective::Allreduce;
+  std::uint64_t msg_bytes = 8;
+};
+
+/// Statistical shape of one application's collective usage.
+struct AppTraceSpec {
+  std::string name;
+  /// Probability that a call's element count is an exact power of two
+  /// (regular domain decompositions produce P2 counts; halo/irregular
+  /// regions do not).
+  double p2_count_prob = 0.85;
+  /// Element sizes used by the app's datatypes (bytes; P2 by construction).
+  std::vector<std::uint64_t> type_sizes = {4, 8};
+  /// log2 range of element counts per call.
+  int min_count_log2 = 0;
+  int max_count_log2 = 17;
+  /// Relative frequency of each collective in the app's communication.
+  std::map<coll::Collective, double> mix = {{coll::Collective::Allreduce, 1.0}};
+  /// Whether the app has large-scale (1024-node) trace data; the paper's
+  /// ParaDis does not.
+  bool has_large_scale_data = true;
+};
+
+/// The four LLNL-like applications of Fig. 4.
+std::vector<AppTraceSpec> llnl_like_apps();
+
+/// Generates `n_calls` collective calls for an app at a given job scale.
+/// The scale perturbs the count distribution only slightly — the paper
+/// observes per-app non-P2 percentages are nearly scale-independent.
+std::vector<CollectiveCall> generate_trace(const AppTraceSpec& spec, int scale_nodes,
+                                           std::size_t n_calls, util::Rng& rng);
+
+/// Message-size statistics of a trace.
+struct TraceProfile {
+  std::size_t total_calls = 0;
+  std::size_t nonp2_calls = 0;
+  double pct_nonp2 = 0.0;
+  std::map<coll::Collective, std::size_t> calls_per_collective;
+};
+
+TraceProfile profile_trace(const std::vector<CollectiveCall>& trace);
+
+}  // namespace acclaim::traces

@@ -1,0 +1,146 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace acclaim::util {
+
+namespace {
+
+bool needs_quoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  if (!out_) {
+    throw IoError("cannot open CSV file for writing: '" + path + "'");
+  }
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  require(!wrote_header_, "CsvWriter::header called twice");
+  columns_ = columns.size();
+  wrote_header_ = true;
+  write_fields(columns);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (wrote_header_) {
+    require(fields.size() == columns_, "CSV row width does not match header");
+  }
+  write_fields(fields);
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& fields) {
+  std::vector<std::string> s;
+  s.reserve(fields.size());
+  for (double v : fields) {
+    s.push_back(format_double(v));
+  }
+  row(s);
+}
+
+void CsvWriter::write_fields(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) {
+      out_ << ',';
+    }
+    out_ << (needs_quoting(fields[i]) ? quote(fields[i]) : fields[i]);
+  }
+  out_ << '\n';
+  if (!out_) {
+    throw IoError("write failure on CSV file '" + path_ + "'");
+  }
+}
+
+std::size_t CsvTable::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) {
+      return i;
+    }
+  }
+  throw NotFoundError("CSV has no column '" + name + "'");
+}
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw IoError("cannot open CSV file for reading: '" + path + "'");
+  }
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  // Character-level RFC 4180 scan so quoted fields may contain commas and
+  // newlines.
+  CsvTable table;
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+  bool first_row = true;
+  auto end_field = [&] {
+    fields.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_row = [&] {
+    end_field();
+    if (first_row) {
+      table.columns = std::move(fields);
+      first_row = false;
+    } else {
+      table.rows.push_back(std::move(fields));
+    }
+    fields.clear();
+    row_has_content = false;
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_quotes = true; row_has_content = true; break;
+      case ',': end_field(); row_has_content = true; break;
+      case '\r': break;  // swallow CR of CRLF
+      case '\n': end_row(); break;
+      default: field += c; row_has_content = true; break;
+    }
+  }
+  if (row_has_content || !field.empty() || !fields.empty()) {
+    end_row();  // file without trailing newline
+  }
+  return table;
+}
+
+}  // namespace acclaim::util

@@ -1,0 +1,52 @@
+// CSV writing/reading for dataset persistence and figure-series output.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace acclaim::util {
+
+/// Streams rows to a CSV file. Fields containing commas/quotes/newlines are
+/// quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file; throws IoError on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes the header row; must be called before any data row.
+  void header(const std::vector<std::string>& columns);
+
+  /// Writes one data row; size must match the header if one was written.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with %.9g.
+  void row_numeric(const std::vector<double>& fields);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  void write_fields(const std::vector<std::string>& fields);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+  bool wrote_header_ = false;
+};
+
+/// Fully parsed CSV table (small files only: datasets, figure output).
+struct CsvTable {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of the named column; throws NotFoundError if absent.
+  std::size_t column_index(const std::string& name) const;
+};
+
+/// Reads a CSV file written by CsvWriter (first row = header).
+CsvTable read_csv(const std::string& path);
+
+/// Formats a double like CsvWriter::row_numeric does.
+std::string format_double(double v);
+
+}  // namespace acclaim::util

@@ -1,0 +1,16 @@
+#include "util/error.hpp"
+
+namespace acclaim {
+
+ParseError::ParseError(const std::string& what, std::size_t line, std::size_t col)
+    : Error(what + " (line " + std::to_string(line) + ", column " + std::to_string(col) + ")"),
+      line_(line),
+      col_(col) {}
+
+void require(bool cond, const std::string& msg) {
+  if (!cond) {
+    throw InvalidArgument(msg);
+  }
+}
+
+}  // namespace acclaim

@@ -1,0 +1,113 @@
+// Minimal JSON document model, parser, and serializer.
+//
+// MPICH communicates collective algorithm selections through a JSON
+// configuration file (CVAR MPIR_CVAR_COLL_SELECTION_TUNING_JSON_FILE). The
+// RuleGenerator emits such files and the SelectionEngine reads them back, so
+// the reproduction carries its own self-contained JSON implementation.
+//
+// Supported: null, bool, finite numbers, strings (with \uXXXX escapes for the
+// BMP), arrays, objects (insertion-ordered, which keeps emitted rule files
+// stable and diffable).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace acclaim::util {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+
+/// Insertion-ordered string->Json map (rule files must keep rule order).
+class JsonObject {
+ public:
+  bool contains(const std::string& key) const;
+  /// Inserts a default-constructed value if missing.
+  Json& operator[](const std::string& key);
+  /// Throws NotFoundError if missing.
+  const Json& at(const std::string& key) const;
+  Json& at(const std::string& key);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+
+  auto begin() { return entries_.begin(); }
+  auto end() { return entries_.end(); }
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+ private:
+  std::vector<std::pair<std::string, Json>> entries_;
+};
+
+/// A JSON value.
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(long i) : value_(static_cast<double>(i)) {}
+  Json(long long i) : value_(static_cast<double>(i)) {}
+  Json(unsigned long i) : value_(static_cast<double>(i)) {}
+  Json(unsigned long long i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  static Json array() { return Json(JsonArray{}); }
+  static Json object() { return Json(JsonObject{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  /// Typed accessors; throw InvalidArgument on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  JsonArray& as_array();
+  const JsonObject& as_object() const;
+  JsonObject& as_object();
+
+  /// Object access sugar; throws on non-objects / missing keys (const).
+  Json& operator[](const std::string& key);
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  /// Array append sugar; throws on non-arrays.
+  void push_back(Json v);
+
+  /// Serialize. indent == 0 -> compact one-line form.
+  std::string dump(int indent = 0) const;
+
+  /// Parse a complete JSON document; trailing non-whitespace is an error.
+  /// Throws ParseError with line/column on malformed input.
+  static Json parse(const std::string& text);
+
+  /// Read/parse a file; throws IoError / ParseError.
+  static Json parse_file(const std::string& path);
+
+  /// Write the serialized form to a file; throws IoError.
+  void dump_file(const std::string& path, int indent = 2) const;
+
+  bool operator==(const Json& other) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> value_;
+};
+
+}  // namespace acclaim::util

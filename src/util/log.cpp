@@ -1,0 +1,52 @@
+#include "util/log.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <iostream>
+
+#include "util/error.hpp"
+
+namespace acclaim::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::ErrorLevel: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+LogLevel parse_log_level(const std::string& s) {
+  std::string t = s;
+  std::transform(t.begin(), t.end(), t.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (t == "debug") return LogLevel::Debug;
+  if (t == "info") return LogLevel::Info;
+  if (t == "warn") return LogLevel::Warn;
+  if (t == "error") return LogLevel::ErrorLevel;
+  if (t == "off") return LogLevel::Off;
+  throw InvalidArgument("unknown log level '" + s + "'");
+}
+
+namespace detail {
+void emit(LogLevel level, const std::string& msg) {
+  if (level < g_level.load() || level == LogLevel::Off) {
+    return;
+  }
+  std::cerr << "[" << level_name(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace acclaim::util

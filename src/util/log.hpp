@@ -1,0 +1,47 @@
+// Leveled logging for the pipeline and benchmark harnesses.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace acclaim::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, ErrorLevel = 3, Off = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+LogLevel parse_log_level(const std::string& s);
+
+namespace detail {
+void emit(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style logger: LOG_AT(Info) << "trained " << n << " points";
+/// The temporary flushes on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::emit(level_, ss_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+
+inline LogLine log_debug() { return LogLine(LogLevel::Debug); }
+inline LogLine log_info() { return LogLine(LogLevel::Info); }
+inline LogLine log_warn() { return LogLine(LogLevel::Warn); }
+inline LogLine log_error() { return LogLine(LogLevel::ErrorLevel); }
+
+}  // namespace acclaim::util

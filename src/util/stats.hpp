@@ -1,0 +1,55 @@
+// Small statistics toolkit used by the measurement and ML layers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace acclaim::util {
+
+/// Welford online accumulator for mean/variance/min/max.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for empty input.
+double mean(const std::vector<double>& v);
+
+/// Sample variance (n-1 denominator); 0 for fewer than 2 values.
+double variance(const std::vector<double>& v);
+
+double stddev(const std::vector<double>& v);
+
+/// Geometric mean; requires all values > 0. 0 for empty input.
+double geomean(const std::vector<double>& v);
+
+/// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
+double percentile(std::vector<double> v, double p);
+
+double median(std::vector<double> v);
+
+/// Pearson correlation coefficient of two equal-length series.
+/// Returns 0 when either series has zero variance.
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Spearman rank correlation (Pearson on average ranks; ties averaged).
+/// Robust to monotone-but-nonlinear co-trends.
+double spearman(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace acclaim::util

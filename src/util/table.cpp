@@ -1,0 +1,64 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace acclaim::util {
+
+std::string fixed(double v, int places) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", places, v);
+  return buf;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  require(!columns_.empty(), "TablePrinter requires at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> fields) {
+  require(fields.size() == columns_.size(), "table row width does not match columns");
+  rows_.push_back(std::move(fields));
+}
+
+void TablePrinter::add_row_numeric(const std::string& label, const std::vector<double>& values,
+                                   int precision) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size() + 1);
+  fields.push_back(label);
+  for (double v : values) {
+    fields.push_back(fixed(v, precision));
+  }
+  add_row(std::move(fields));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    widths[i] = columns_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << "  " << row[i] << std::string(widths[i] - row[i].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit_row(columns_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) {
+    total += w + 2;
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+}
+
+}  // namespace acclaim::util

@@ -1,0 +1,34 @@
+// Aligned plain-text table printing for bench harness output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace acclaim::util {
+
+/// Collects rows and prints them with column alignment, matching the
+/// "rows/series the paper reports" style used by the bench binaries.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> fields);
+
+  /// Convenience for numeric rows; doubles are formatted with the given
+  /// precision (default 4 significant decimal digits).
+  void add_row_numeric(const std::string& label, const std::vector<double>& values,
+                       int precision = 4);
+
+  /// Renders the table (header, separator, rows) to the stream.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed decimal places.
+std::string fixed(double v, int places);
+
+}  // namespace acclaim::util

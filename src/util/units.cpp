@@ -1,0 +1,75 @@
+#include "util/units.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace acclaim::util {
+
+std::string format_bytes(std::uint64_t bytes) {
+  constexpr std::uint64_t kKiB = 1024;
+  constexpr std::uint64_t kMiB = 1024 * 1024;
+  constexpr std::uint64_t kGiB = 1024ULL * 1024 * 1024;
+  char buf[32];
+  if (bytes >= kGiB && bytes % kGiB == 0) {
+    std::snprintf(buf, sizeof buf, "%lluG", static_cast<unsigned long long>(bytes / kGiB));
+  } else if (bytes >= kMiB && bytes % kMiB == 0) {
+    std::snprintf(buf, sizeof buf, "%lluM", static_cast<unsigned long long>(bytes / kMiB));
+  } else if (bytes >= kKiB && bytes % kKiB == 0) {
+    std::snprintf(buf, sizeof buf, "%lluK", static_cast<unsigned long long>(bytes / kKiB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[48];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.1f ms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof buf, "%.1f s", seconds);
+  } else if (seconds < 2.0 * 3600.0) {
+    std::snprintf(buf, sizeof buf, "%.1f min", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f h", seconds / 3600.0);
+  }
+  return buf;
+}
+
+std::uint64_t parse_bytes(const std::string& label) {
+  if (label.empty()) {
+    throw ParseError("empty byte label", 1, 1);
+  }
+  std::size_t i = 0;
+  std::uint64_t value = 0;
+  bool any = false;
+  while (i < label.size() && std::isdigit(static_cast<unsigned char>(label[i]))) {
+    value = value * 10 + static_cast<std::uint64_t>(label[i] - '0');
+    ++i;
+    any = true;
+  }
+  if (!any) {
+    throw ParseError("byte label must start with digits: '" + label + "'", 1, 1);
+  }
+  if (i == label.size()) {
+    return value;
+  }
+  const char suffix = static_cast<char>(std::toupper(static_cast<unsigned char>(label[i])));
+  if (i + 1 != label.size() && !(i + 2 == label.size() &&
+                                 std::toupper(static_cast<unsigned char>(label[i + 1])) == 'B')) {
+    throw ParseError("invalid byte label '" + label + "'", 1, i + 1);
+  }
+  switch (suffix) {
+    case 'K': return value * 1024;
+    case 'M': return value * 1024 * 1024;
+    case 'G': return value * 1024ULL * 1024 * 1024;
+    case 'B': return value;
+    default: throw ParseError("invalid byte suffix in '" + label + "'", 1, i + 1);
+  }
+}
+
+}  // namespace acclaim::util

@@ -1,0 +1,18 @@
+// Human-readable unit formatting (bytes, seconds) for report output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace acclaim::util {
+
+/// "64", "4K", "1M" — the power-of-two byte labels used on paper axes.
+std::string format_bytes(std::uint64_t bytes);
+
+/// "13.2 us", "4.7 ms", "2.1 s", "3.4 min", "1.2 h" — picks a sensible unit.
+std::string format_seconds(double seconds);
+
+/// Parses "4K"/"1M"-style byte labels back to a count. Throws ParseError.
+std::uint64_t parse_bytes(const std::string& label);
+
+}  // namespace acclaim::util

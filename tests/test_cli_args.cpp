@@ -1,0 +1,61 @@
+// Unit tests for the CLI flag parser.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "../tools/cli_args.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using acclaim::cli::Args;
+using acclaim::cli::split_csv;
+
+Args parse(std::vector<std::string> tokens, const std::vector<std::string>& known) {
+  std::vector<char*> argv;
+  argv.reserve(tokens.size());
+  for (auto& t : tokens) {
+    argv.push_back(t.data());
+  }
+  return Args(static_cast<int>(argv.size()), argv.data(), known);
+}
+
+TEST(CliArgs, ParsesFlagValuePairs) {
+  const Args args = parse({"--nodes", "32", "--out", "x.csv"}, {"nodes", "out", "ppn"});
+  EXPECT_TRUE(args.has("nodes"));
+  EXPECT_FALSE(args.has("ppn"));
+  EXPECT_EQ(args.get("out"), "x.csv");
+  EXPECT_EQ(args.get("missing", "fallback"), "fallback");
+  EXPECT_EQ(args.get_int("nodes", 1), 32);
+  EXPECT_EQ(args.get_int("ppn", 16), 16);
+  EXPECT_EQ(args.require_flag("out"), "x.csv");
+}
+
+TEST(CliArgs, NumericAndByteConversions) {
+  const Args args = parse({"--speedup", "1.05", "--msg", "64K"}, {"speedup", "msg"});
+  EXPECT_DOUBLE_EQ(args.get_double("speedup", 0.0), 1.05);
+  EXPECT_EQ(args.get_bytes("msg", 0), 65536u);
+  EXPECT_EQ(args.get_bytes("other", 128), 128u);
+}
+
+TEST(CliArgs, RejectsMalformedInput) {
+  EXPECT_THROW(parse({"nodes", "32"}, {"nodes"}), acclaim::InvalidArgument);  // no dashes
+  EXPECT_THROW(parse({"--bogus", "1"}, {"nodes"}), acclaim::InvalidArgument);  // unknown
+  EXPECT_THROW(parse({"--nodes"}, {"nodes"}), acclaim::InvalidArgument);  // missing value
+  const Args args = parse({"--nodes", "2"}, {"nodes", "out"});
+  try {
+    args.require_flag("out");
+    FAIL() << "expected throw";
+  } catch (const acclaim::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("--out"), std::string::npos);
+  }
+}
+
+TEST(CliArgs, SplitCsv) {
+  EXPECT_EQ(split_csv("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_csv("bcast"), (std::vector<std::string>{"bcast"}));
+  EXPECT_EQ(split_csv(",a,,b,"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(split_csv("").empty());
+}
+
+}  // namespace

@@ -1,0 +1,250 @@
+// Property tests on schedule *shape* and *cost*: round counts match the
+// textbook complexity of each algorithm, non-power-of-two rank counts pay
+// the expected fold/unfold penalty exactly where the paper says they should,
+// and costs behave monotonically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "collectives/builders.hpp"
+#include "collectives/types.hpp"
+#include "minimpi/cost_executor.hpp"
+#include "minimpi/schedule.hpp"
+#include "simnet/allocation.hpp"
+#include "simnet/machine.hpp"
+#include "simnet/network.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace acclaim;
+using coll::Algorithm;
+using coll::CollParams;
+using minimpi::RecordingSink;
+
+int log2ceil(int n) {
+  int l = 0;
+  while ((1 << l) < n) {
+    ++l;
+  }
+  return l;
+}
+
+RecordingSink record(Algorithm alg, int nranks, std::uint64_t count = 64) {
+  RecordingSink sink;
+  CollParams p;
+  p.nranks = nranks;
+  p.count = count;
+  p.type_size = 8;
+  coll::build_schedule(alg, p, sink);
+  return sink;
+}
+
+double cost_of(Algorithm alg, const simnet::Topology& topo, int nnodes, int ppn,
+               std::uint64_t msg_bytes, std::uint64_t seed = 0) {
+  const simnet::NetworkModel net(topo, seed);
+  std::vector<int> node_ids(static_cast<std::size_t>(nnodes));
+  for (int i = 0; i < nnodes; ++i) {
+    node_ids[static_cast<std::size_t>(i)] = i;
+  }
+  const simnet::Allocation alloc(node_ids);
+  const minimpi::RankMap rm(alloc, ppn);
+  minimpi::CostExecutor cost(net, rm);
+  CollParams p;
+  p.nranks = nnodes * ppn;
+  p.type_size = 1;
+  p.count = msg_bytes;
+  coll::build_schedule(alg, p, cost);
+  return cost.elapsed_us();
+}
+
+// ---------------------------------------------------------------- shapes
+
+TEST(ScheduleShape, BcastBinomialRoundsAreLogarithmic) {
+  for (int n : {2, 3, 8, 13, 16, 33}) {
+    const auto sink = record(Algorithm::BcastBinomial, n);
+    EXPECT_EQ(static_cast<int>(sink.rounds().size()), log2ceil(n)) << "n=" << n;
+  }
+}
+
+TEST(ScheduleShape, BcastBinomialMovesFullPayloadPerHop) {
+  const auto sink = record(Algorithm::BcastBinomial, 8, 100);
+  // 7 receivers x 800 bytes.
+  EXPECT_EQ(sink.network_bytes(), 7u * 800u);
+}
+
+TEST(ScheduleShape, RingAllgatherHasNMinusOneNetworkRounds) {
+  for (int n : {2, 5, 8, 12}) {
+    const auto sink = record(Algorithm::AllgatherRing, n);
+    // +1 for the initial local staging round.
+    EXPECT_EQ(static_cast<int>(sink.rounds().size()), n) << "n=" << n;
+  }
+}
+
+TEST(ScheduleShape, BruckRoundsAreLogarithmicPlusStagingAndRotation) {
+  for (int n : {2, 5, 8, 13, 16}) {
+    const auto sink = record(Algorithm::AllgatherBruck, n);
+    EXPECT_EQ(static_cast<int>(sink.rounds().size()), log2ceil(n) + 2) << "n=" << n;
+  }
+}
+
+TEST(ScheduleShape, RecursiveDoublingPaysFoldRoundsOffPowerOfTwo) {
+  const auto p2 = record(Algorithm::AllreduceRecursiveDoubling, 16);
+  const auto nonp2 = record(Algorithm::AllreduceRecursiveDoubling, 17);
+  // P2: staging + log2(16) rounds. Non-P2 adds fold + unfold.
+  EXPECT_EQ(p2.rounds().size(), 1u + 4u);
+  EXPECT_EQ(nonp2.rounds().size(), 1u + 4u + 2u);
+}
+
+TEST(ScheduleShape, RabensseiferTotalTrafficNearOptimal) {
+  // Recursive doubling moves n*log2(p) bytes per rank; reduce-scatter +
+  // allgather moves ~2n*(p-1)/p per rank. At p=16 the ratio is ~2x.
+  const auto rsa = record(Algorithm::AllreduceReduceScatterAllgather, 16, 4096);
+  const auto rdb = record(Algorithm::AllreduceRecursiveDoubling, 16, 4096);
+  EXPECT_LT(static_cast<double>(rsa.network_bytes()),
+            static_cast<double>(rdb.network_bytes()) / 1.9);
+}
+
+/// Max bytes *sent by any single rank* — the serialization bottleneck.
+std::uint64_t max_rank_tx(const RecordingSink& sink, int nranks) {
+  std::vector<std::uint64_t> tx(static_cast<std::size_t>(nranks), 0);
+  for (const auto& round : sink.rounds()) {
+    for (const auto& t : round.transfers) {
+      if (t.src_rank != t.dst_rank) {
+        tx[static_cast<std::size_t>(t.src_rank)] += t.bytes;
+      }
+    }
+  }
+  return *std::max_element(tx.begin(), tx.end());
+}
+
+TEST(ScheduleShape, ScatterVariantsRelieveTheRootBottleneck) {
+  // The root of a binomial bcast retransmits the full payload log2(p)
+  // times; scatter-based variants spread that load across ranks.
+  const auto binomial = record(Algorithm::BcastBinomial, 16, 16384);
+  const auto ring = record(Algorithm::BcastScatterRingAllgather, 16, 16384);
+  EXPECT_LT(max_rank_tx(ring, 16), max_rank_tx(binomial, 16) / 2);
+}
+
+TEST(ScheduleShape, AllRoundsValidateForRandomParams) {
+  util::Rng rng(123);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto& infos = coll::all_algorithms();
+    const auto& info = infos[rng.index(infos.size())];
+    CollParams p;
+    p.nranks = static_cast<int>(rng.uniform_int(1, 40));
+    p.count = static_cast<std::uint64_t>(rng.uniform_int(1, 500));
+    p.type_size = 8;
+    const bool rooted = info.collective == coll::Collective::Bcast ||
+                        info.collective == coll::Collective::Reduce;
+    p.root = rooted ? static_cast<int>(rng.uniform_int(0, p.nranks - 1)) : 0;
+    RecordingSink sink;
+    ASSERT_NO_THROW(coll::build_schedule(info.alg, p, sink))
+        << info.name << " n=" << p.nranks << " count=" << p.count;
+    for (const auto& round : sink.rounds()) {
+      ASSERT_NO_THROW(minimpi::validate_round(round, p.nranks));
+    }
+  }
+}
+
+// ------------------------------------------------------------------ costs
+
+class CollectiveCosts : public testing::Test {
+ protected:
+  CollectiveCosts() : topo_(simnet::bebop_like()) {}
+  simnet::Topology topo_;
+};
+
+TEST_F(CollectiveCosts, MonotoneInMessageSize) {
+  for (const auto& info : coll::all_algorithms()) {
+    double prev = 0.0;
+    for (std::uint64_t msg = 64; msg <= (1u << 20); msg <<= 4) {
+      const double t = cost_of(info.alg, topo_, 16, 4, msg);
+      EXPECT_GT(t, prev * 0.999) << info.name << " msg=" << msg;
+      prev = t;
+    }
+  }
+}
+
+TEST_F(CollectiveCosts, PositiveAndFinite) {
+  for (const auto& info : coll::all_algorithms()) {
+    for (int nodes : {1, 2, 7, 16}) {
+      const double t = cost_of(info.alg, topo_, nodes, 2, 1024);
+      EXPECT_GT(t, 0.0) << info.name;
+      EXPECT_TRUE(std::isfinite(t)) << info.name;
+    }
+  }
+}
+
+TEST_F(CollectiveCosts, BinomialBcastWinsSmallMessages) {
+  const double binom = cost_of(Algorithm::BcastBinomial, topo_, 32, 8, 16);
+  const double ring = cost_of(Algorithm::BcastScatterRingAllgather, topo_, 32, 8, 16);
+  EXPECT_LT(binom, ring);
+}
+
+TEST_F(CollectiveCosts, RingBcastWinsVeryLargeMessages) {
+  const double binom = cost_of(Algorithm::BcastBinomial, topo_, 32, 8, 1 << 20);
+  const double ring = cost_of(Algorithm::BcastScatterRingAllgather, topo_, 32, 8, 1 << 20);
+  EXPECT_LT(ring, binom);
+}
+
+TEST_F(CollectiveCosts, RecursiveDoublingAllreduceWinsSmallMessages) {
+  const double rdb = cost_of(Algorithm::AllreduceRecursiveDoubling, topo_, 32, 4, 64);
+  const double rsa = cost_of(Algorithm::AllreduceReduceScatterAllgather, topo_, 32, 4, 64);
+  EXPECT_LT(rdb, rsa);
+}
+
+TEST_F(CollectiveCosts, RabensseiferAllreduceWinsLargeMessages) {
+  const double rdb = cost_of(Algorithm::AllreduceRecursiveDoubling, topo_, 32, 4, 1 << 20);
+  const double rsa = cost_of(Algorithm::AllreduceReduceScatterAllgather, topo_, 32, 4, 1 << 20);
+  EXPECT_LT(rsa, rdb);
+}
+
+TEST_F(CollectiveCosts, P2FavoringAlgorithmsShowNonP2Cliff) {
+  // Going from 8 to 9 nodes (both within one rack, so no topology-boundary
+  // effect) should hurt a P2-favoring algorithm far more than a
+  // P2-insensitive one (paper §III-B). Recursive doubling pays fold/unfold
+  // rounds of the full vector; ring only pays one extra ordinary round.
+  const double rdb8 = cost_of(Algorithm::AllreduceRecursiveDoubling, topo_, 8, 1, 1 << 16);
+  const double rdb9 = cost_of(Algorithm::AllreduceRecursiveDoubling, topo_, 9, 1, 1 << 16);
+  const double ring8 = cost_of(Algorithm::AllgatherRing, topo_, 8, 1, 1 << 12);
+  const double ring9 = cost_of(Algorithm::AllgatherRing, topo_, 9, 1, 1 << 12);
+  const double rdb_penalty = rdb9 / rdb8;
+  const double ring_penalty = ring9 / ring8;
+  EXPECT_GT(rdb_penalty, 1.3);
+  EXPECT_LT(ring_penalty, 1.25);
+  EXPECT_GT(rdb_penalty, ring_penalty * 1.15);
+}
+
+TEST_F(CollectiveCosts, ScatteredAllocationIsSlower) {
+  // The same job on nodes spread across pairs must be slower than packed in
+  // one rack (the non-programmatic allocation effect).
+  const simnet::NetworkModel net(topo_, 0);
+  auto run = [&](const simnet::Allocation& alloc) {
+    const minimpi::RankMap rm(alloc, 4);
+    minimpi::CostExecutor cost(net, rm);
+    CollParams p;
+    p.nranks = alloc.num_nodes() * 4;
+    p.type_size = 1;
+    p.count = 1 << 16;
+    coll::build_schedule(Algorithm::AllreduceRecursiveDoubling, p, cost);
+    return cost.elapsed_us();
+  };
+  const double packed = run(simnet::Allocation({0, 1, 2, 3}));
+  const double spread = run(simnet::Allocation({0, 16, 32, 48}));
+  EXPECT_GT(spread, packed);
+}
+
+TEST_F(CollectiveCosts, JobSeedCreatesLatencySpread) {
+  double lo = 1e30;
+  double hi = 0.0;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const double t = cost_of(Algorithm::BcastBinomial, topo_, 16, 2, 64, seed);
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  EXPECT_GT(hi / lo, 1.3);  // different jobs, visibly different latency
+}
+
+}  // namespace

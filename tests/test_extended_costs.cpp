@@ -1,0 +1,158 @@
+// Cost-shape properties of the extended collectives and the heuristic's
+// coverage of them: crossovers land where the algorithm structure says they
+// should, and the default selection resolves every collective.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchdata/dataset.hpp"
+#include "collectives/types.hpp"
+#include "core/evaluator.hpp"
+#include "core/heuristic.hpp"
+#include "core/model.hpp"
+#include "minimpi/cost_executor.hpp"
+#include "minimpi/schedule.hpp"
+#include "simnet/allocation.hpp"
+#include "simnet/machine.hpp"
+#include "simnet/network.hpp"
+
+namespace {
+
+using namespace acclaim;
+using coll::Algorithm;
+using coll::Collective;
+using coll::CollParams;
+
+class ExtendedCosts : public testing::Test {
+ protected:
+  ExtendedCosts() : topo_(simnet::bebop_like()), net_(topo_, 1) {}
+
+  double cost_of(Algorithm alg, int nnodes, int ppn, std::uint64_t msg) const {
+    std::vector<int> ids(static_cast<std::size_t>(nnodes));
+    for (int i = 0; i < nnodes; ++i) {
+      ids[static_cast<std::size_t>(i)] = i;
+    }
+    const simnet::Allocation alloc(ids);
+    const minimpi::RankMap rm(alloc, ppn);
+    minimpi::CostExecutor cost(net_, rm);
+    CollParams p;
+    p.nranks = nnodes * ppn;
+    p.ppn = ppn;
+    p.count = msg;
+    p.type_size = 1;
+    coll::build_schedule(alg, p, cost);
+    return cost.elapsed_us();
+  }
+
+  simnet::Topology topo_;
+  simnet::NetworkModel net_;
+};
+
+TEST_F(ExtendedCosts, AlltoallBruckWinsTinyBlocksPairwiseWinsLarge) {
+  // Bruck trades extra data volume for log2(p) latency: the textbook
+  // small-message/large-message crossover.
+  EXPECT_LT(cost_of(Algorithm::AlltoallBruck, 16, 2, 16),
+            cost_of(Algorithm::AlltoallPairwise, 16, 2, 16));
+  EXPECT_LT(cost_of(Algorithm::AlltoallPairwise, 16, 2, 1 << 14),
+            cost_of(Algorithm::AlltoallBruck, 16, 2, 1 << 14));
+}
+
+TEST_F(ExtendedCosts, GatherTreeVsLinearTradeoff) {
+  // The two gather algorithms trade total traffic against incast: binomial
+  // forwards subtree payloads log2(p) times (n*log2(p)/2 blocks on the
+  // wire), linear sends each block exactly once but funnels p-1 streams
+  // into the root, which the contention model serializes (bounded by the
+  // adaptive-routing cap). Under the cap, linear's single round wins on
+  // wall-clock while binomial's traffic multiplier is real and measurable —
+  // the classic reason selections must be *tuned* per machine rather than
+  // assumed.
+  EXPECT_LT(cost_of(Algorithm::GatherLinear, 32, 4, 1 << 14),
+            cost_of(Algorithm::GatherBinomial, 32, 4, 1 << 14));
+  // Traffic: binomial moves strictly more bytes than linear's n-1 blocks.
+  minimpi::RecordingSink binom;
+  minimpi::RecordingSink linear;
+  CollParams p;
+  p.nranks = 32;
+  p.count = 1024;
+  p.type_size = 8;
+  coll::build_schedule(Algorithm::GatherBinomial, p, binom);
+  coll::build_schedule(Algorithm::GatherLinear, p, linear);
+  EXPECT_GT(binom.network_bytes(), 2 * linear.network_bytes());
+  // And binomial needs only ~log2(p) network rounds vs the contention the
+  // single linear round absorbs.
+  EXPECT_LT(binom.rounds().size(), 10u);
+}
+
+TEST_F(ExtendedCosts, LinearWinsTinyCommunicators) {
+  // With 2 ranks the tree collapses and the linear algorithm's single
+  // direct transfer avoids the staging copies.
+  EXPECT_LE(cost_of(Algorithm::GatherLinear, 2, 1, 256),
+            cost_of(Algorithm::GatherBinomial, 2, 1, 256));
+}
+
+TEST_F(ExtendedCosts, BarrierScalesLogarithmically) {
+  // Dissemination time grows ~log2(p): quadrupling ranks adds two rounds,
+  // nowhere near quadrupling the time.
+  const double t8 = cost_of(Algorithm::BarrierDissemination, 8, 1, 8);
+  const double t32 = cost_of(Algorithm::BarrierDissemination, 32, 1, 8);
+  EXPECT_LT(t32, 2.5 * t8);
+  EXPECT_GT(t32, t8);
+}
+
+TEST_F(ExtendedCosts, ReduceScatterHalvingVsPairwiseCrossover) {
+  // Recursive halving moves asymptotically less data; pairwise avoids the
+  // staging and fold overheads at small sizes.
+  EXPECT_LT(cost_of(Algorithm::ReduceScatterBlockRecursiveHalving, 16, 2, 1 << 14),
+            cost_of(Algorithm::ReduceScatterBlockPairwise, 16, 2, 1 << 14));
+}
+
+TEST(ExtendedHeuristic, CoversEveryCollective) {
+  // The default selection must resolve every collective at representative
+  // scenarios, always to an algorithm of that collective.
+  for (Collective c : coll::all_collectives()) {
+    for (int nodes : {2, 9, 32}) {
+      for (std::uint64_t msg : {8ull, 4096ull, 1ull << 20}) {
+        const bench::Scenario s{c, nodes, 4, msg};
+        const Algorithm a = core::mpich_default_selection(s);
+        EXPECT_EQ(coll::algorithm_info(a).collective, c) << s.to_string();
+        EXPECT_FALSE(coll::algorithm_info(a).experimental) << s.to_string();
+      }
+    }
+  }
+}
+
+TEST(ExtendedHeuristic, KnownCutoffsForNewCollectives) {
+  using core::mpich_default_selection;
+  EXPECT_EQ(mpich_default_selection({Collective::Gather, 2, 2, 64}),
+            Algorithm::GatherLinear);
+  EXPECT_EQ(mpich_default_selection({Collective::Gather, 16, 4, 64}),
+            Algorithm::GatherBinomial);
+  EXPECT_EQ(mpich_default_selection({Collective::Alltoall, 8, 4, 128}),
+            Algorithm::AlltoallBruck);
+  EXPECT_EQ(mpich_default_selection({Collective::Alltoall, 8, 4, 4096}),
+            Algorithm::AlltoallPairwise);
+  EXPECT_EQ(mpich_default_selection({Collective::ReduceScatterBlock, 4, 2, 1024}),
+            Algorithm::ReduceScatterBlockRecursiveHalving);
+  EXPECT_EQ(mpich_default_selection({Collective::ReduceScatterBlock, 32, 8, 1 << 18}),
+            Algorithm::ReduceScatterBlockPairwise);
+  EXPECT_EQ(mpich_default_selection({Collective::Barrier, 8, 4, 8}),
+            Algorithm::BarrierDissemination);
+}
+
+TEST(ExtendedAutotuning, ModelCoversExtendedCollectives) {
+  // The registry-driven model machinery works for the extended set too:
+  // encode, fit, select on a gather dataset from the tiny machine.
+  const simnet::MachineConfig machine = simnet::tiny_test_machine();
+  const bench::FeatureGrid grid = bench::FeatureGrid::p2(8, 2, 64, 4096);
+  const bench::Dataset ds = bench::precollect(machine, grid, {Collective::Gather}, 3);
+  std::vector<core::LabeledPoint> data;
+  for (const auto& p : ds.points(Collective::Gather)) {
+    data.push_back({p, ds.at(p).mean_us});
+  }
+  core::CollectiveModel model(Collective::Gather);
+  model.fit(data, 4);
+  const core::Evaluator ev(ds);
+  EXPECT_LT(ev.average_slowdown(ds.scenarios(Collective::Gather), model), 1.10);
+}
+
+}  // namespace

@@ -1,0 +1,50 @@
+// Shared fixtures for the higher-layer tests: a small, fast precollected
+// dataset over the tiny test machine, built once per process.
+#pragma once
+
+#include <algorithm>
+
+#include "benchdata/dataset.hpp"
+#include "core/feature_space.hpp"
+#include "simnet/machine.hpp"
+
+namespace acclaim::testing_support {
+
+/// 8-node machine, 4 cores — everything below stays in the milliseconds.
+inline simnet::MachineConfig small_machine() {
+  simnet::MachineConfig m = simnet::tiny_test_machine();
+  m.total_nodes = 16;
+  m.nodes_per_rack = 4;
+  m.cores_per_node = 8;
+  return m;
+}
+
+/// P2 grid: nodes {2..16}, ppn {1..8}, msgs {64..64K}.
+inline bench::FeatureGrid small_p2_grid() {
+  return bench::FeatureGrid::p2(16, 8, 64, 64 * 1024);
+}
+
+/// The P2 grid plus one non-P2 message variant per anchor, so acquisition
+/// policies can exercise the §IV-B rule against a DatasetEnvironment.
+inline bench::FeatureGrid small_full_grid() {
+  bench::FeatureGrid g = small_p2_grid();
+  util::Rng rng(1234);
+  const bench::FeatureGrid np2 = g.with_nonp2_msgs(rng);
+  g.msgs.insert(g.msgs.end(), np2.msgs.begin(), np2.msgs.end());
+  std::sort(g.msgs.begin(), g.msgs.end());
+  g.msgs.erase(std::unique(g.msgs.begin(), g.msgs.end()), g.msgs.end());
+  return g;
+}
+
+/// Process-lifetime dataset over all four collectives (collected once).
+inline const bench::Dataset& small_dataset() {
+  static const bench::Dataset ds =
+      bench::precollect(small_machine(), small_full_grid(), coll::paper_collectives(), 7);
+  return ds;
+}
+
+inline core::FeatureSpace small_space() {
+  return core::FeatureSpace::from_grid(small_p2_grid());
+}
+
+}  // namespace acclaim::testing_support

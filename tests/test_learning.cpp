@@ -1,0 +1,327 @@
+// Tests for the active learner, the collection scheduler, baselines, and
+// acquisition traces — the training-loop behaviours the paper's evaluation
+// rests on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/active_learner.hpp"
+#include "core/baselines.hpp"
+#include "core/evaluator.hpp"
+#include "core/scheduler.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace acclaim;
+using bench::BenchmarkPoint;
+using bench::Scenario;
+using coll::Collective;
+
+// ---------------------------------------------------------------- scheduler
+
+class SchedulerTest : public testing::Test {
+ protected:
+  SchedulerTest() : topo_(testing_support::small_machine()) {}  // 16 nodes, 4/rack
+
+  static BenchmarkPoint point_needing(int nnodes) {
+    return {{Collective::Bcast, nnodes, 2, 1024}, coll::Algorithm::BcastBinomial};
+  }
+
+  simnet::Topology topo_;
+};
+
+TEST_F(SchedulerTest, PacksRackDisjointBenchmarks) {
+  // Four 2-node benchmarks on a 16-node allocation with 4-node racks: each
+  // placement retires its whole rack, so exactly 4 fit, one per rack.
+  std::vector<BenchmarkPoint> pool(8, point_needing(2));
+  std::vector<std::size_t> ranked = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> ids(16);
+  for (int i = 0; i < 16; ++i) {
+    ids[static_cast<std::size_t>(i)] = i;
+  }
+  const simnet::Allocation alloc(ids);
+  const core::CollectionScheduler sched;
+  const auto batch = sched.plan(pool, ranked, topo_, alloc);
+  ASSERT_EQ(batch.items.size(), 4u);
+  std::set<int> racks;
+  for (const auto& item : batch.items) {
+    for (int k = 0; k < item.point.scenario.nnodes; ++k) {
+      racks.insert(topo_.rack_of(alloc.node(item.first_node + k)));
+    }
+  }
+  EXPECT_EQ(racks.size(), 4u);  // pairwise rack-disjoint
+}
+
+TEST_F(SchedulerTest, StopsAtFirstMisfit) {
+  // Highest-priority point needs 12 nodes -> uses racks 0..2; the next needs
+  // 8 but only rack 3 (4 nodes) remains: the greedy exits (paper step 4).
+  std::vector<BenchmarkPoint> pool = {point_needing(12), point_needing(8), point_needing(2)};
+  std::vector<int> ids(16);
+  for (int i = 0; i < 16; ++i) {
+    ids[static_cast<std::size_t>(i)] = i;
+  }
+  const simnet::Allocation alloc(ids);
+  const core::CollectionScheduler sched;
+  const auto batch = sched.plan(pool, {0, 1, 2}, topo_, alloc);
+  ASSERT_EQ(batch.items.size(), 1u);
+  EXPECT_EQ(batch.consumed, (std::vector<std::size_t>{0}));
+}
+
+TEST_F(SchedulerTest, NaiveSchedulerPacksMoreButSharesRacks) {
+  std::vector<BenchmarkPoint> pool(8, point_needing(2));
+  std::vector<std::size_t> ranked = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> ids(16);
+  for (int i = 0; i < 16; ++i) {
+    ids[static_cast<std::size_t>(i)] = i;
+  }
+  const simnet::Allocation alloc(ids);
+  const core::CollectionScheduler naive(core::CollectionSchedulerConfig{false, 1 << 20});
+  const auto batch = naive.plan(pool, ranked, topo_, alloc);
+  EXPECT_EQ(batch.items.size(), 8u);  // 8 x 2 nodes fill all 16
+  // Benchmarks 0 and 1 share rack 0 — the congestion hazard of §III-D.
+  EXPECT_EQ(topo_.rack_of(alloc.node(batch.items[0].first_node)),
+            topo_.rack_of(alloc.node(batch.items[1].first_node)));
+}
+
+TEST_F(SchedulerTest, MaxParallelPlacementExposesMoreParallelism) {
+  // One node per rack ("max-parallel", Fig. 13) lets four 1-node benchmarks
+  // run at once; a single-rack placement of the same size allows only one.
+  // Needs a machine with >= 4 rack pairs and >= 4 nodes per rack.
+  simnet::MachineConfig m = testing_support::small_machine();
+  m.total_nodes = 32;  // 8 racks of 4, 4 pairs
+  const simnet::Topology topo(m);
+  std::vector<BenchmarkPoint> pool(6, point_needing(1));
+  std::vector<std::size_t> ranked = {0, 1, 2, 3, 4, 5};
+  const core::CollectionScheduler sched;
+  const auto maxp =
+      sched.plan(pool, ranked, topo, simnet::fig13_placement(topo, "max-parallel", 4));
+  const auto single =
+      sched.plan(pool, ranked, topo, simnet::fig13_placement(topo, "single-rack", 4));
+  EXPECT_EQ(maxp.items.size(), 4u);
+  EXPECT_EQ(single.items.size(), 1u);
+}
+
+// ------------------------------------------------------------ active learner
+
+class LearnerTest : public testing::Test {
+ protected:
+  LearnerTest()
+      : ds_(testing_support::small_dataset()),
+        space_(testing_support::small_space()),
+        ev_(ds_) {}
+
+  core::ActiveLearnerConfig fast_config() const {
+    core::ActiveLearnerConfig cfg;
+    cfg.forest.n_trees = 40;
+    cfg.seed = 11;
+    // The tiny test machine's surfaces are noisier relative to their spread
+    // than the figure-scale dataset's; loosen the variance criterion the
+    // way a deployment would tune it for its machine.
+    cfg.variance_rel_tol = 0.02;
+    cfg.patience = 4;
+    return cfg;
+  }
+
+  const bench::Dataset& ds_;
+  core::FeatureSpace space_;
+  core::Evaluator ev_;
+};
+
+TEST_F(LearnerTest, ConvergesWellUnderSlowdownCriterion) {
+  core::DatasetEnvironment env(ds_);
+  core::AcclaimAcquisition policy;
+  core::ActiveLearner learner(Collective::Bcast, space_, env, policy, fast_config());
+  const auto test = space_.scenarios(Collective::Bcast);
+  learner.set_monitor([&](const core::CollectiveModel& m) {
+    return ev_.average_slowdown(test, m);
+  });
+  const core::TrainingResult result = learner.run();
+  ASSERT_TRUE(result.converged);
+  // Converged without exhausting the candidate pool...
+  EXPECT_LT(result.collected.size(),
+            space_.candidates(Collective::Bcast).size() * 4 / 5);
+  // ...and with good final selections (paper's criterion is 1.03; allow a
+  // small margin since variance convergence may fire slightly early, as the
+  // paper itself reports slowdowns of ~1.04 at the variance point).
+  EXPECT_LT(ev_.average_slowdown(test, result.model), 1.06);
+  // History is complete and monotone in points/clock.
+  ASSERT_EQ(result.history.size(), static_cast<std::size_t>(result.iterations));
+  for (std::size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_GE(result.history[i].points_collected, result.history[i - 1].points_collected);
+    EXPECT_GE(result.history[i].clock_s, result.history[i - 1].clock_s);
+  }
+  EXPECT_NEAR(result.train_time_s, result.history.back().clock_s, 1e-9);
+}
+
+TEST_F(LearnerTest, CollectsNonP2VariantsAtTheConfiguredCadence) {
+  core::DatasetEnvironment env(ds_);
+  core::AcclaimAcquisition policy;
+  core::ActiveLearnerConfig cfg = fast_config();
+  cfg.max_points = 50;
+  cfg.patience = 1 << 20;  // run to the cap
+  core::ActiveLearner learner(Collective::Bcast, space_, env, policy, cfg);
+  const auto result = learner.run();
+  ASSERT_EQ(result.collected.size(), 50u);
+  int nonp2 = 0;
+  for (const auto& lp : result.collected) {
+    if (!util::is_power_of_two(lp.point.scenario.msg_bytes)) {
+      ++nonp2;
+    }
+  }
+  // 50 picks at cadence 5 -> 10 non-P2 (the 80-20 split), give or take
+  // anchors below the non-P2 threshold.
+  EXPECT_GE(nonp2, 7);
+  EXPECT_LE(nonp2, 12);
+}
+
+TEST_F(LearnerTest, VarianceGuidedIsCompetitiveWithRandomAtEqualBudget) {
+  // On the small test space random sampling is a strong baseline; the
+  // variance-guided learner must at least stay in the same quality band
+  // (the figure-scale comparisons live in the bench harnesses).
+  const auto test = space_.scenarios(Collective::Allgather);
+  auto run_with = [&](core::AcquisitionPolicy& policy, std::uint64_t seed) {
+    core::DatasetEnvironment env(ds_);
+    core::ActiveLearnerConfig cfg = fast_config();
+    cfg.max_points = 140;
+    cfg.patience = 1 << 20;
+    cfg.seed = seed;
+    core::ActiveLearner learner(Collective::Allgather, space_, env, policy, cfg);
+    return ev_.average_slowdown(test, learner.run().model);
+  };
+  double acclaim_sum = 0.0;
+  double random_sum = 0.0;
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    core::AcclaimAcquisition a;
+    core::RandomAcquisition r;
+    acclaim_sum += run_with(a, s);
+    random_sum += run_with(r, s);
+  }
+  EXPECT_LT(acclaim_sum / 3.0, (random_sum / 3.0) * 1.15 + 0.05);
+}
+
+TEST_F(LearnerTest, ParallelCollectionReducesClockNotQuality) {
+  const simnet::Topology topo(testing_support::small_machine());
+  std::vector<int> ids(16);
+  for (int i = 0; i < 16; ++i) {
+    ids[static_cast<std::size_t>(i)] = i;
+  }
+  const simnet::Allocation alloc(ids);
+
+  auto run = [&](bool parallel) {
+    core::LiveEnvironment env(topo, alloc, 9);
+    core::AcclaimAcquisition policy;
+    core::ActiveLearnerConfig cfg = fast_config();
+    cfg.max_points = 40;
+    cfg.patience = 1 << 20;
+    cfg.parallel_collection = parallel;
+    core::ActiveLearner learner(Collective::Reduce, space_, env, policy, cfg);
+    return learner.run();
+  };
+  const auto seq = run(false);
+  const auto par = run(true);
+  EXPECT_EQ(seq.collected.size(), 40u);
+  // A parallel batch may overshoot the cap by up to one batch.
+  EXPECT_GE(par.collected.size(), 40u);
+  EXPECT_LT(par.train_time_s / static_cast<double>(par.collected.size()),
+            seq.train_time_s / static_cast<double>(seq.collected.size()));
+  // Parallel mode actually batched something.
+  int max_batch = 1;
+  for (const auto& rec : par.history) {
+    max_batch = std::max(max_batch, rec.batch_size);
+  }
+  EXPECT_GT(max_batch, 1);
+}
+
+// ---------------------------------------------------------------- baselines
+
+TEST_F(LearnerTest, HunoldTrainsPerAlgorithmModels) {
+  core::HunoldAutotuner tuner(Collective::Bcast);
+  const double cost = tuner.fit(ds_, 0.5, 21);
+  EXPECT_GT(cost, 0.0);
+  ASSERT_TRUE(tuner.trained());
+  const auto test = space_.scenarios(Collective::Bcast);
+  const double slow = ev_.average_slowdown(
+      test, [&](const Scenario& s) { return tuner.select(s); });
+  EXPECT_LT(slow, 1.25);  // with half the data it should be decent
+  EXPECT_THROW(tuner.fit(ds_, 0.0, 1), InvalidArgument);
+  EXPECT_THROW(tuner.fit(ds_, 1.5, 1), InvalidArgument);
+}
+
+TEST_F(LearnerTest, AcclaimCompetitiveWithHunoldAtEqualBudget) {
+  // The Fig. 3 relationship at figure scale is checked by the benches; here
+  // we assert the miniature comparison stays in the same quality band.
+  const auto test = space_.scenarios(Collective::Bcast);
+  core::DatasetEnvironment env(ds_);
+  core::AcclaimAcquisition policy;
+  core::ActiveLearnerConfig cfg = fast_config();
+  cfg.max_points = 80;
+  cfg.patience = 1 << 20;
+  core::ActiveLearner learner(Collective::Bcast, space_, env, policy, cfg);
+  const double acclaim_slow = ev_.average_slowdown(test, learner.run().model);
+
+  const std::size_t pool = ds_.points(Collective::Bcast).size();
+  core::HunoldAutotuner hunold(Collective::Bcast);
+  hunold.fit(ds_, 80.0 / static_cast<double>(pool), 22);
+  const double hunold_slow =
+      ev_.average_slowdown(test, [&](const Scenario& s) { return hunold.select(s); });
+  EXPECT_LT(acclaim_slow, hunold_slow * 1.10 + 0.05);
+}
+
+TEST_F(LearnerTest, AcquisitionTracePrefixesAreConsistent) {
+  core::DatasetEnvironment env(ds_);
+  core::AcclaimAcquisition policy;
+  core::TraceConfig cfg;
+  cfg.forest.n_trees = 40;
+  cfg.max_points = 30;
+  cfg.seed = 4;
+  const core::AcquisitionTrace trace =
+      core::trace_acquisition(Collective::Reduce, space_, env, policy, cfg);
+  ASSERT_EQ(trace.steps.size(), 30u);
+  // Costs are cumulative and increasing.
+  for (std::size_t i = 1; i < trace.steps.size(); ++i) {
+    EXPECT_GT(trace.steps[i].cum_cost_s, trace.steps[i - 1].cum_cost_s);
+  }
+  EXPECT_DOUBLE_EQ(trace.prefix_cost_s(0), 0.0);
+  EXPECT_DOUBLE_EQ(trace.prefix_cost_s(30), trace.steps.back().cum_cost_s);
+  EXPECT_EQ(trace.prefix(10).size(), 10u);
+  EXPECT_THROW(trace.prefix(31), InvalidArgument);
+  // Training on a prefix yields a usable model.
+  const auto model = core::train_on_prefix(trace, 30, cfg.forest, 5);
+  EXPECT_TRUE(model.trained());
+}
+
+TEST_F(LearnerTest, FactTestSetCollectionIsCostly) {
+  // Fig. 6's premise: the test set covers 20% of the *full* feature space
+  // (including the non-P2 values applications use), and every algorithm of
+  // every test scenario must be benchmarked. That cost is real and charged.
+  const auto p2_test = core::fact_test_scenarios(space_, Collective::Bcast, 0.2, 31);
+  EXPECT_EQ(p2_test.size(),
+            static_cast<std::size_t>(std::llround(
+                0.2 * static_cast<double>(space_.scenarios(Collective::Bcast).size()))));
+  // Full-space sample from the dataset's scenarios (P2 + non-P2).
+  const auto all = ds_.scenarios(Collective::Bcast);
+  util::Rng rng(31);
+  const auto pick = rng.sample_without_replacement(all.size(), all.size() / 5);
+  std::vector<Scenario> test;
+  for (std::size_t i : pick) {
+    test.push_back(all[i]);
+  }
+  core::DatasetEnvironment env(ds_);
+  const double test_cost = core::test_set_collection_cost_s(test, env);
+  EXPECT_GT(test_cost, 0.0);
+  EXPECT_NEAR(env.clock_s(), test_cost, 1e-9);
+  // Every algorithm of every scenario was charged.
+  double expected = 0.0;
+  for (const Scenario& s : test) {
+    for (coll::Algorithm a : coll::algorithms_for(s.collective)) {
+      expected += ds_.at(bench::BenchmarkPoint{s, a}).collect_cost_s;
+    }
+  }
+  EXPECT_NEAR(test_cost, expected, 1e-6 * expected);
+}
+
+}  // namespace

@@ -1,0 +1,258 @@
+// Unit tests for the minimpi layer: schedule IR, data executor semantics,
+// cost executor contention behaviour.
+#include <gtest/gtest.h>
+
+#include "minimpi/cost_executor.hpp"
+#include "minimpi/data_executor.hpp"
+#include "minimpi/ops.hpp"
+#include "minimpi/schedule.hpp"
+#include "simnet/allocation.hpp"
+#include "simnet/machine.hpp"
+#include "simnet/network.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace acclaim::minimpi;
+using acclaim::simnet::Allocation;
+using acclaim::simnet::NetworkModel;
+using acclaim::simnet::tiny_test_machine;
+using acclaim::simnet::Topology;
+
+TEST(Ops, ScalarAndVectorAgree) {
+  for (ReduceOp op : {ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod}) {
+    double dst[3] = {1.0, 5.0, -2.0};
+    const double src[3] = {4.0, 2.0, -3.0};
+    double expect[3];
+    for (int i = 0; i < 3; ++i) {
+      expect[i] = reduce_scalar(op, dst[i], src[i]);
+    }
+    apply_reduce(op, dst, src, 3);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_DOUBLE_EQ(dst[i], expect[i]) << reduce_op_name(op) << " elem " << i;
+    }
+  }
+}
+
+TEST(Ops, IdentityElements) {
+  for (ReduceOp op : {ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod}) {
+    EXPECT_DOUBLE_EQ(reduce_scalar(op, reduce_identity(op), 7.5), 7.5);
+  }
+}
+
+TEST(Schedule, ValidateRejectsBadTransfers) {
+  Round r;
+  EXPECT_THROW(validate_round(r, 4), acclaim::InvalidArgument);  // empty
+  r.add(Round::copy(0, BufKind::Send, 0, 5, BufKind::Recv, 0, 8));
+  EXPECT_THROW(validate_round(r, 4), acclaim::InvalidArgument);  // dst out of range
+  Round zero;
+  zero.add(Round::copy(0, BufKind::Send, 0, 1, BufKind::Recv, 0, 0));
+  EXPECT_THROW(validate_round(zero, 4), acclaim::InvalidArgument);  // zero bytes
+  Round ok;
+  ok.add(Round::combine(0, BufKind::Send, 8, 1, BufKind::Recv, 0, 16));
+  EXPECT_NO_THROW(validate_round(ok, 4));
+}
+
+TEST(RecordingSink, CountsTransfersAndNetworkBytes) {
+  RecordingSink sink;
+  Round r1;
+  r1.add(Round::copy(0, BufKind::Send, 0, 1, BufKind::Recv, 0, 64));
+  r1.add(Round::copy(2, BufKind::Send, 0, 2, BufKind::Recv, 0, 128));  // local
+  sink.on_round(r1);
+  Round r2;
+  r2.add(Round::copy(1, BufKind::Recv, 0, 0, BufKind::Recv, 0, 32));
+  sink.on_round(r2);
+  EXPECT_EQ(sink.rounds().size(), 2u);
+  EXPECT_EQ(sink.total_transfers(), 3u);
+  EXPECT_EQ(sink.network_bytes(), 96u);
+}
+
+TEST(DataExecutor, CopiesBetweenRanks) {
+  DataExecutor exec(2, 16, 16, 0);
+  exec.buffer(0, BufKind::Send) = {1.5, 2.5};
+  Round r;
+  r.add(Round::copy(0, BufKind::Send, 0, 1, BufKind::Recv, 0, 16));
+  exec.on_round(r);
+  EXPECT_EQ(exec.buffer(1, BufKind::Recv), (std::vector<double>{1.5, 2.5}));
+  EXPECT_EQ(exec.rounds_executed(), 1u);
+}
+
+TEST(DataExecutor, SendrecvReadsPreRoundState) {
+  // Ranks 0 and 1 swap simultaneously: both must see the other's pre-round
+  // value, not the freshly written one.
+  DataExecutor exec(2, 8, 8, 0);
+  exec.buffer(0, BufKind::Recv) = {10.0};
+  exec.buffer(1, BufKind::Recv) = {20.0};
+  Round r;
+  r.add(Round::copy(0, BufKind::Recv, 0, 1, BufKind::Recv, 0, 8));
+  r.add(Round::copy(1, BufKind::Recv, 0, 0, BufKind::Recv, 0, 8));
+  exec.on_round(r);
+  EXPECT_DOUBLE_EQ(exec.buffer(0, BufKind::Recv)[0], 20.0);
+  EXPECT_DOUBLE_EQ(exec.buffer(1, BufKind::Recv)[0], 10.0);
+}
+
+TEST(DataExecutor, ReduceCombines) {
+  DataExecutor exec(2, 8, 8, 0, ReduceOp::Sum);
+  exec.buffer(0, BufKind::Recv) = {3.0};
+  exec.buffer(1, BufKind::Recv) = {4.0};
+  Round r;
+  r.add(Round::combine(1, BufKind::Recv, 0, 0, BufKind::Recv, 0, 8));
+  exec.on_round(r);
+  EXPECT_DOUBLE_EQ(exec.buffer(0, BufKind::Recv)[0], 7.0);
+  EXPECT_DOUBLE_EQ(exec.buffer(1, BufKind::Recv)[0], 4.0);
+}
+
+TEST(DataExecutor, SymmetricReduceExchange) {
+  // Both directions of a reducing exchange see pre-round values.
+  DataExecutor exec(2, 8, 8, 0, ReduceOp::Sum);
+  exec.buffer(0, BufKind::Recv) = {3.0};
+  exec.buffer(1, BufKind::Recv) = {4.0};
+  Round r;
+  r.add(Round::combine(0, BufKind::Recv, 0, 1, BufKind::Recv, 0, 8));
+  r.add(Round::combine(1, BufKind::Recv, 0, 0, BufKind::Recv, 0, 8));
+  exec.on_round(r);
+  EXPECT_DOUBLE_EQ(exec.buffer(0, BufKind::Recv)[0], 7.0);
+  EXPECT_DOUBLE_EQ(exec.buffer(1, BufKind::Recv)[0], 7.0);
+}
+
+TEST(DataExecutor, RejectsMisalignedTransfers) {
+  DataExecutor exec(2, 16, 16, 0);
+  Round r;
+  r.add(Round::copy(0, BufKind::Send, 4, 1, BufKind::Recv, 0, 8));
+  EXPECT_THROW(exec.on_round(r), acclaim::InvalidArgument);
+  Round r2;
+  r2.add(Round::combine(0, BufKind::Send, 0, 1, BufKind::Recv, 0, 12));
+  EXPECT_THROW(exec.on_round(r2), acclaim::InvalidArgument);
+}
+
+TEST(DataExecutor, BoundsChecked) {
+  DataExecutor exec(2, 16, 16, 0);
+  Round r;
+  r.add(Round::copy(0, BufKind::Send, 8, 1, BufKind::Recv, 0, 16));  // reads past end
+  EXPECT_THROW(exec.on_round(r), acclaim::InvalidArgument);
+  Round w;
+  w.add(Round::copy(0, BufKind::Send, 0, 1, BufKind::Recv, 8, 16));  // writes past end
+  EXPECT_THROW(exec.on_round(w), acclaim::InvalidArgument);
+}
+
+TEST(RankMap, BlockMapping) {
+  const Allocation alloc({0, 3});
+  const RankMap rm(alloc, 2);
+  EXPECT_EQ(rm.nranks(), 4);
+  EXPECT_EQ(rm.node_of(0), 0);
+  EXPECT_EQ(rm.node_of(1), 0);
+  EXPECT_EQ(rm.node_of(2), 3);
+  EXPECT_THROW(rm.node_of(4), acclaim::InvalidArgument);
+}
+
+class CostExecutorTest : public testing::Test {
+ protected:
+  CostExecutorTest() : topo_(tiny_test_machine()), net_(topo_, 0) {}
+  Topology topo_;
+  NetworkModel net_;
+};
+
+TEST_F(CostExecutorTest, SingleTransferMatchesNetworkModel) {
+  const Allocation alloc({0, 4});  // global link
+  const RankMap rm(alloc, 1);
+  CostExecutor cost(net_, rm);
+  Round r;
+  r.add(Round::copy(0, BufKind::Send, 0, 1, BufKind::Recv, 0, 1024));
+  cost.on_round(r);
+  const double expected =
+      net_.transfer_time_us(0, 4, 1024) + net_.params().round_overhead_us;
+  EXPECT_NEAR(cost.elapsed_us(), expected, 1e-9);
+}
+
+TEST_F(CostExecutorTest, RoundTimeIsMaxOfTransfers) {
+  const Allocation alloc({0, 1, 4, 5});
+  const RankMap rm(alloc, 1);
+  CostExecutor cost(net_, rm);
+  Round r;
+  r.add(Round::copy(0, BufKind::Send, 0, 1, BufKind::Recv, 0, 64));    // intra-rack, fast
+  r.add(Round::copy(2, BufKind::Send, 0, 3, BufKind::Recv, 0, 4096));  // intra-rack, big
+  cost.on_round(r);
+  const double slow = net_.transfer_time_us(4, 5, 4096);
+  EXPECT_NEAR(cost.elapsed_us(), slow + net_.params().round_overhead_us, 1e-9);
+}
+
+TEST_F(CostExecutorTest, NicContentionSerializesFanout) {
+  const Allocation alloc({0, 1});
+  const RankMap rm(alloc, 2);  // ranks 0,1 on node 0; ranks 2,3 on node 1
+  // One sender pushing to two receivers on the other node pays 2x on the
+  // bytes term compared with a single stream (the fixed alpha/chunking
+  // terms are unaffected, so the ratio sits between 1 and 2).
+  CostExecutor one(net_, rm);
+  Round single;
+  single.add(Round::copy(0, BufKind::Send, 0, 2, BufKind::Recv, 0, 100000));
+  one.on_round(single);
+
+  CostExecutor two(net_, rm);
+  Round fan;
+  fan.add(Round::copy(0, BufKind::Send, 0, 2, BufKind::Recv, 0, 100000));
+  fan.add(Round::copy(0, BufKind::Send, 0, 3, BufKind::Recv, 0, 100000));
+  two.on_round(fan);
+  EXPECT_GT(two.elapsed_us(), 1.5 * one.elapsed_us() - net_.params().round_overhead_us);
+  EXPECT_LT(two.elapsed_us(), 2.0 * one.elapsed_us());
+}
+
+TEST_F(CostExecutorTest, IntraNodeTransfersDoNotLoadNic) {
+  const Allocation alloc({0, 1});
+  const RankMap rm(alloc, 2);
+  // Reference: the cross-node transfer on its own.
+  CostExecutor solo(net_, rm);
+  Round only_cross;
+  only_cross.add(Round::copy(2, BufKind::Send, 0, 0, BufKind::Recv, 0, 100000));
+  solo.on_round(only_cross);
+
+  // Adding a shared-memory transfer on the same node must not add NIC
+  // contention to the cross-node transfer.
+  CostExecutor cost(net_, rm);
+  Round r;
+  r.add(Round::copy(0, BufKind::Send, 0, 1, BufKind::Recv, 0, 100000));  // same node
+  r.add(Round::copy(2, BufKind::Send, 0, 0, BufKind::Recv, 0, 100000));  // cross node
+  cost.on_round(r);
+  EXPECT_NEAR(cost.elapsed_us(), solo.elapsed_us(), 1e-6);
+}
+
+TEST_F(CostExecutorTest, LocalCopiesAreCheap) {
+  const Allocation alloc({0});
+  const RankMap rm(alloc, 2);
+  CostExecutor cost(net_, rm);
+  Round r;
+  r.add(Round::copy(0, BufKind::Send, 0, 0, BufKind::Recv, 0, 1 << 20));
+  cost.on_round(r);
+  EXPECT_LT(cost.elapsed_us(), 100.0);
+}
+
+TEST_F(CostExecutorTest, ExternalLoadCongestsSharedRacks) {
+  const Allocation alloc({0, 2});  // rack 0 -> rack 1, same pair
+  const RankMap rm(alloc, 1);
+  CostExecutor calm(net_, rm);
+  Round r;
+  r.add(Round::copy(0, BufKind::Send, 0, 1, BufKind::Recv, 0, 1 << 18));
+  calm.on_round(r);
+
+  CostExecutor congested(net_, rm);
+  congested.set_external_load({{0, 16}, {1, 16}}, {});
+  Round r2;
+  r2.add(Round::copy(0, BufKind::Send, 0, 1, BufKind::Recv, 0, 1 << 18));
+  congested.on_round(r2);
+  EXPECT_GT(congested.elapsed_us(), 2.0 * calm.elapsed_us());
+}
+
+TEST_F(CostExecutorTest, ReduceTransfersChargeComputeTime) {
+  const Allocation alloc({0, 4});
+  const RankMap rm(alloc, 1);
+  CostExecutor plain(net_, rm);
+  Round r;
+  r.add(Round::copy(0, BufKind::Send, 0, 1, BufKind::Recv, 0, 1 << 16));
+  plain.on_round(r);
+  CostExecutor reducing(net_, rm);
+  Round r2;
+  r2.add(Round::combine(0, BufKind::Send, 0, 1, BufKind::Recv, 0, 1 << 16));
+  reducing.on_round(r2);
+  EXPECT_GT(reducing.elapsed_us(), plain.elapsed_us());
+}
+
+}  // namespace

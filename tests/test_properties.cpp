@@ -1,0 +1,207 @@
+// Cross-cutting property tests: schedule determinism, traffic accounting,
+// executor agreement, jackknife algebra, and rule-table properties over
+// randomized inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "collectives/types.hpp"
+#include "core/model.hpp"
+#include "core/rulegen.hpp"
+#include "minimpi/cost_executor.hpp"
+#include "minimpi/data_executor.hpp"
+#include "minimpi/schedule.hpp"
+#include "ml/forest.hpp"
+#include "simnet/allocation.hpp"
+#include "simnet/network.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace acclaim;
+using coll::CollParams;
+
+CollParams random_params(const coll::AlgorithmInfo& info, util::Rng& rng) {
+  CollParams p;
+  p.nranks = static_cast<int>(rng.uniform_int(1, 24));
+  p.count = static_cast<std::uint64_t>(rng.uniform_int(1, 200));
+  p.type_size = 8;
+  const bool rooted = info.collective == coll::Collective::Bcast ||
+                      info.collective == coll::Collective::Reduce ||
+                      info.collective == coll::Collective::Gather ||
+                      info.collective == coll::Collective::Scatter;
+  p.root = rooted ? static_cast<int>(rng.uniform_int(0, p.nranks - 1)) : 0;
+  return p;
+}
+
+TEST(ScheduleProperties, BuildingTwiceIsIdentical) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto& infos = coll::all_algorithms();
+    const auto& info = infos[rng.index(infos.size())];
+    const CollParams p = random_params(info, rng);
+    minimpi::RecordingSink a;
+    minimpi::RecordingSink b;
+    coll::build_schedule(info.alg, p, a);
+    coll::build_schedule(info.alg, p, b);
+    ASSERT_EQ(a.rounds().size(), b.rounds().size()) << info.name;
+    for (std::size_t r = 0; r < a.rounds().size(); ++r) {
+      const auto& ta = a.rounds()[r].transfers;
+      const auto& tb = b.rounds()[r].transfers;
+      ASSERT_EQ(ta.size(), tb.size());
+      for (std::size_t t = 0; t < ta.size(); ++t) {
+        EXPECT_EQ(ta[t].src_rank, tb[t].src_rank);
+        EXPECT_EQ(ta[t].dst_rank, tb[t].dst_rank);
+        EXPECT_EQ(ta[t].src_off, tb[t].src_off);
+        EXPECT_EQ(ta[t].dst_off, tb[t].dst_off);
+        EXPECT_EQ(ta[t].bytes, tb[t].bytes);
+        EXPECT_EQ(ta[t].reduce, tb[t].reduce);
+      }
+    }
+  }
+}
+
+TEST(ScheduleProperties, KnownTrafficTotals) {
+  // Closed-form network-byte totals for the simplest algorithms.
+  const std::uint64_t bs = 64 * 8;
+  {
+    // Ring allgather: (n-1) rounds x n blocks of bs.
+    minimpi::RecordingSink sink;
+    CollParams p;
+    p.nranks = 12;
+    p.count = 64;
+    coll::build_schedule(coll::Algorithm::AllgatherRing, p, sink);
+    EXPECT_EQ(sink.network_bytes(), 11u * 12u * bs);
+  }
+  {
+    // Linear gather: n-1 remote contributions of bs (the root's own block
+    // is a local copy).
+    minimpi::RecordingSink sink;
+    CollParams p;
+    p.nranks = 12;
+    p.count = 64;
+    coll::build_schedule(coll::Algorithm::GatherLinear, p, sink);
+    EXPECT_EQ(sink.network_bytes(), 11u * bs);
+  }
+  {
+    // Pairwise alltoall: every ordered pair exchanges one block.
+    minimpi::RecordingSink sink;
+    CollParams p;
+    p.nranks = 8;
+    p.count = 64;
+    coll::build_schedule(coll::Algorithm::AlltoallPairwise, p, sink);
+    EXPECT_EQ(sink.network_bytes(), 8u * 7u * bs);
+  }
+}
+
+TEST(ScheduleProperties, TeeSinkFeedsBothExecutorsIdentically) {
+  // Cost and data executors consume the same rounds in one pass.
+  const simnet::Topology topo(testing_support::small_machine());
+  const simnet::NetworkModel net(topo, 3);
+  const simnet::Allocation alloc({0, 1, 2, 3, 4, 5});
+  const minimpi::RankMap rm(alloc, 2);
+  CollParams p;
+  p.nranks = 12;
+  p.count = 16;
+  p.type_size = 8;
+  const auto sizes = coll::buffer_requirements(coll::Collective::Allreduce, p);
+  minimpi::DataExecutor data(p.nranks, sizes.send_bytes, sizes.recv_bytes, sizes.tmp_bytes);
+  minimpi::CostExecutor cost(net, rm);
+  minimpi::TeeSink tee({&data, &cost});
+  for (int r = 0; r < p.nranks; ++r) {
+    auto& send = data.buffer(r, minimpi::BufKind::Send);
+    for (auto& v : send) {
+      v = 1.0;
+    }
+  }
+  coll::build_schedule(coll::Algorithm::AllreduceRecursiveDoubling, p, tee);
+  EXPECT_EQ(data.rounds_executed(), cost.rounds_executed());
+  EXPECT_GT(cost.elapsed_us(), 0.0);
+  // All-ones inputs sum to nranks everywhere.
+  for (int r = 0; r < p.nranks; ++r) {
+    EXPECT_DOUBLE_EQ(data.buffer(r, minimpi::BufKind::Recv)[0], 12.0);
+  }
+}
+
+TEST(JackknifeProperties, AffineTransform) {
+  util::Rng rng(5);
+  std::vector<double> x(40);
+  for (auto& v : x) {
+    v = rng.normal(3.0, 2.0);
+  }
+  std::vector<double> y(x.size());
+  const double a = -2.5;
+  const double b = 7.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = a * x[i] + b;
+  }
+  // Variance scales with a^2; the shift is irrelevant.
+  EXPECT_NEAR(ml::jackknife_variance(y), a * a * ml::jackknife_variance(x), 1e-9);
+}
+
+TEST(JackknifeProperties, PermutationInvariant) {
+  util::Rng rng(6);
+  std::vector<double> x(25);
+  for (auto& v : x) {
+    v = rng.uniform(0, 10);
+  }
+  std::vector<double> shuffled = x;
+  rng.shuffle(shuffled);
+  EXPECT_NEAR(ml::jackknife_variance(shuffled), ml::jackknife_variance(x), 1e-12);
+}
+
+TEST(RuleProperties, GeneratedTablesResolveEveryQuery) {
+  // For models trained on random subsets, generated tables must resolve any
+  // in-range and out-of-range scenario without throwing and agree with the
+  // model on grid points.
+  const bench::Dataset& ds = testing_support::small_dataset();
+  const core::FeatureSpace space = testing_support::small_space();
+  util::Rng rng(9);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto all = ds.points(coll::Collective::Reduce);
+    std::vector<core::LabeledPoint> data;
+    for (const auto& p : all) {
+      if (rng.chance(0.4)) {
+        data.push_back({p, ds.at(p).mean_us});
+      }
+    }
+    if (data.size() < 10) {
+      continue;
+    }
+    core::CollectiveModel model(coll::Collective::Reduce);
+    model.fit(data, rng.next_u64());
+    const core::RuleTable table = core::RuleGenerator().generate(model, space);
+    EXPECT_NO_THROW(table.validate());
+    // Off-grid queries (non-P2 everything, out-of-range sizes) still resolve.
+    EXPECT_NO_THROW(table.lookup({coll::Collective::Reduce, 13, 3, 1}));
+    EXPECT_NO_THROW(table.lookup({coll::Collective::Reduce, 1000, 100, 1ull << 40}));
+    for (const auto& s : space.scenarios(coll::Collective::Reduce)) {
+      EXPECT_EQ(table.lookup(s), model.select(s));
+    }
+  }
+}
+
+TEST(ForestProperties, PredictionWithinTrainingRange) {
+  // A regression forest predicts means of leaves, so predictions are
+  // bounded by the training target range.
+  util::Rng rng(10);
+  std::vector<ml::FeatureRow> X;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    X.push_back({rng.uniform(0, 10), rng.uniform(0, 10)});
+    y.push_back(rng.uniform(5.0, 9.0));
+  }
+  ml::RandomForest f;
+  ml::ForestParams params;
+  params.n_trees = 20;
+  f.fit(X, y, params, 3);
+  for (int i = 0; i < 100; ++i) {
+    const ml::FeatureRow probe{rng.uniform(-5, 15), rng.uniform(-5, 15)};
+    const double pred = f.predict(probe);
+    EXPECT_GE(pred, 5.0 - 1e-9);
+    EXPECT_LE(pred, 9.0 + 1e-9);
+  }
+}
+
+}  // namespace

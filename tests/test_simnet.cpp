@@ -1,0 +1,241 @@
+// Unit tests for the simulated machine: topology classification, job
+// allocation, network model properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "simnet/allocation.hpp"
+#include "simnet/machine.hpp"
+#include "simnet/network.hpp"
+#include "simnet/topology.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace acclaim::simnet;
+using acclaim::util::Rng;
+
+TEST(Machine, PresetsValidate) {
+  EXPECT_NO_THROW(bebop_like().validate());
+  EXPECT_NO_THROW(theta_like().validate());
+  EXPECT_NO_THROW(fat_tree_like().validate());
+  EXPECT_NO_THROW(tiny_test_machine().validate());
+  EXPECT_EQ(bebop_like().total_nodes, 64);
+  EXPECT_EQ(theta_like().total_nodes, 4392);
+  EXPECT_EQ(theta_like().cores_per_node, 64);
+}
+
+TEST(Machine, FatTreeMapsOntoTheHierarchy) {
+  const MachineConfig m = fat_tree_like();
+  // 1024 nodes over 32-node leaf switches in pods of 4 -> 32 leaves, 8 pods.
+  EXPECT_EQ(m.num_racks(), 32);
+  EXPECT_EQ(m.num_pairs(), 8);
+  const Topology topo(m);
+  EXPECT_EQ(topo.link_class(0, 31), LinkClass::IntraRack);   // same leaf
+  EXPECT_EQ(topo.link_class(0, 32), LinkClass::IntraPair);   // same pod
+  EXPECT_EQ(topo.link_class(0, 128), LinkClass::Global);     // across pods
+  // Near-full bisection: far higher upper-layer capacities than Dragonfly.
+  EXPECT_GT(m.net.rack_uplink_capacity, theta_like().net.rack_uplink_capacity);
+  EXPECT_GT(m.net.global_link_capacity, theta_like().net.global_link_capacity);
+}
+
+TEST(Machine, FatTreeSchedulerFindsMoreParallelPods) {
+  // The §IV-D greedy works unchanged on the fat tree: one 8-node benchmark
+  // per leaf switch, 32 leaves available.
+  const Topology topo(fat_tree_like());
+  JobScheduler sched(topo, 0.0, Rng(1));
+  const Allocation alloc = sched.allocate(256);  // 8 leaves worth of nodes
+  EXPECT_EQ(alloc.racks_touched(topo), 8);
+}
+
+TEST(Machine, RackArithmetic) {
+  MachineConfig m = tiny_test_machine();  // 8 nodes, 2 per rack, 2 racks/pair
+  EXPECT_EQ(m.num_racks(), 4);
+  EXPECT_EQ(m.num_pairs(), 2);
+  m.total_nodes = 9;  // partial last rack
+  EXPECT_EQ(m.num_racks(), 5);
+  EXPECT_EQ(m.num_pairs(), 3);
+}
+
+TEST(Machine, ValidationCatchesBadConfigs) {
+  MachineConfig m = tiny_test_machine();
+  m.total_nodes = 0;
+  EXPECT_THROW(m.validate(), acclaim::InvalidArgument);
+  m = tiny_test_machine();
+  m.net.bandwidth_Bpus[0] = 0.0;
+  EXPECT_THROW(m.validate(), acclaim::InvalidArgument);
+}
+
+TEST(Topology, LinkClassification) {
+  const Topology topo(tiny_test_machine());  // racks: {0,1},{2,3},{4,5},{6,7}
+  EXPECT_EQ(topo.link_class(3, 3), LinkClass::IntraNode);
+  EXPECT_EQ(topo.link_class(0, 1), LinkClass::IntraRack);
+  EXPECT_EQ(topo.link_class(0, 2), LinkClass::IntraPair);
+  EXPECT_EQ(topo.link_class(1, 3), LinkClass::IntraPair);
+  EXPECT_EQ(topo.link_class(0, 4), LinkClass::Global);
+  EXPECT_EQ(topo.link_class(3, 7), LinkClass::Global);
+  EXPECT_THROW(topo.link_class(0, 8), acclaim::InvalidArgument);
+}
+
+TEST(Topology, RackAndPairQueries) {
+  const Topology topo(tiny_test_machine());
+  EXPECT_EQ(topo.rack_of(0), 0);
+  EXPECT_EQ(topo.rack_of(7), 3);
+  EXPECT_EQ(topo.pair_of(0), 0);
+  EXPECT_EQ(topo.pair_of(5), 1);
+  EXPECT_EQ(topo.rack_first_node(2), 4);
+  EXPECT_EQ(topo.rack_size(3), 2);
+}
+
+TEST(Topology, PartialLastRack) {
+  MachineConfig m = tiny_test_machine();
+  m.total_nodes = 7;
+  const Topology topo(m);
+  EXPECT_EQ(topo.num_racks(), 4);
+  EXPECT_EQ(topo.rack_size(3), 1);
+}
+
+TEST(Allocation, RankMappingIsBlockwise) {
+  const Allocation a({3, 5, 9});
+  EXPECT_EQ(a.num_nodes(), 3);
+  EXPECT_EQ(a.node_of_rank(0, 2), 3);
+  EXPECT_EQ(a.node_of_rank(1, 2), 3);
+  EXPECT_EQ(a.node_of_rank(2, 2), 5);
+  EXPECT_EQ(a.node_of_rank(5, 2), 9);
+  EXPECT_THROW(a.node_of_rank(6, 2), acclaim::InvalidArgument);
+}
+
+TEST(Allocation, RequiresStrictlyIncreasingNodes) {
+  EXPECT_THROW(Allocation({3, 3}), acclaim::InvalidArgument);
+  EXPECT_THROW(Allocation({5, 2}), acclaim::InvalidArgument);
+  EXPECT_THROW(Allocation(std::vector<int>{}), acclaim::InvalidArgument);
+}
+
+TEST(Allocation, TouchCounts) {
+  const Topology topo(tiny_test_machine());
+  EXPECT_EQ(Allocation({0, 1}).racks_touched(topo), 1);
+  EXPECT_EQ(Allocation({0, 2}).racks_touched(topo), 2);
+  EXPECT_EQ(Allocation({0, 2}).pairs_touched(topo), 1);
+  EXPECT_EQ(Allocation({0, 4}).pairs_touched(topo), 2);
+}
+
+TEST(Scheduler, AllocatesLowestFreeNodes) {
+  const Topology topo(tiny_test_machine());
+  JobScheduler sched(topo, 0.0, Rng(1));
+  const Allocation a = sched.allocate(3);
+  EXPECT_EQ(a.nodes(), (std::vector<int>{0, 1, 2}));
+  const Allocation b = sched.allocate(2);
+  EXPECT_EQ(b.nodes(), (std::vector<int>{3, 4}));
+  sched.release(a);
+  const Allocation c = sched.allocate(4);
+  EXPECT_EQ(c.nodes(), (std::vector<int>{0, 1, 2, 5}));
+}
+
+TEST(Scheduler, BusyMachineFragmentsAllocations) {
+  // A busy machine should usually not hand out a perfectly contiguous
+  // block; check statistically across job seeds (any one seed can get
+  // lucky and find a contiguous hole).
+  const Topology topo{theta_like()};
+  int fragmented = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    JobScheduler sched(topo, 0.5, Rng(seed));
+    EXPECT_LT(sched.free_nodes(), theta_like().total_nodes);
+    const Allocation a = sched.allocate(128);
+    EXPECT_EQ(a.num_nodes(), 128);
+    if (a.nodes().back() - a.nodes().front() > 127) {
+      ++fragmented;
+    }
+  }
+  EXPECT_GE(fragmented, 5);
+}
+
+TEST(Scheduler, ThrowsWhenMachineFull) {
+  const Topology topo(tiny_test_machine());
+  JobScheduler sched(topo, 0.0, Rng(1));
+  sched.allocate(8);
+  EXPECT_THROW(sched.allocate(1), acclaim::InvalidArgument);
+}
+
+TEST(Scheduler, ContiguousAllocation) {
+  const Topology topo(tiny_test_machine());
+  const JobScheduler sched(topo, 0.0, Rng(1));
+  const Allocation a = sched.allocate_contiguous(2, 4);
+  EXPECT_EQ(a.nodes(), (std::vector<int>{2, 3, 4, 5}));
+  EXPECT_THROW(sched.allocate_contiguous(6, 4), acclaim::InvalidArgument);
+}
+
+TEST(Fig13Placements, MatchPaperTopologies) {
+  // A machine large enough for all four placements of 8 nodes.
+  MachineConfig m = tiny_test_machine();
+  m.total_nodes = 256;
+  m.nodes_per_rack = 8;
+  const Topology topo(m);  // 32 racks, 16 pairs
+  const auto single = fig13_placement(topo, "single-rack", 8);
+  EXPECT_EQ(single.racks_touched(topo), 1);
+  const auto pair = fig13_placement(topo, "single-pair", 8);
+  EXPECT_EQ(pair.racks_touched(topo), 2);
+  EXPECT_EQ(pair.pairs_touched(topo), 1);
+  const auto two = fig13_placement(topo, "two-pairs", 8);
+  EXPECT_EQ(two.racks_touched(topo), 4);
+  EXPECT_EQ(two.pairs_touched(topo), 2);
+  const auto max = fig13_placement(topo, "max-parallel", 8);
+  EXPECT_EQ(max.racks_touched(topo), 8);
+  EXPECT_EQ(max.pairs_touched(topo), 8);
+  EXPECT_THROW(fig13_placement(topo, "bogus", 8), acclaim::InvalidArgument);
+}
+
+TEST(Network, AlphaBetaOrderedByDistance) {
+  const Topology topo(tiny_test_machine());
+  const NetworkModel net(topo, 0);
+  EXPECT_LT(net.alpha_us(LinkClass::IntraNode), net.alpha_us(LinkClass::IntraRack));
+  EXPECT_LT(net.alpha_us(LinkClass::IntraRack), net.alpha_us(LinkClass::IntraPair));
+  EXPECT_LT(net.alpha_us(LinkClass::IntraPair), net.alpha_us(LinkClass::Global));
+  EXPECT_GT(net.beta_us_per_byte(LinkClass::Global),
+            net.beta_us_per_byte(LinkClass::IntraNode));
+}
+
+TEST(Network, TransferTimeMonotoneInSize) {
+  const Topology topo(tiny_test_machine());
+  const NetworkModel net(topo, 7);
+  double prev = 0.0;
+  for (std::uint64_t b = 1; b <= (1u << 20); b <<= 2) {
+    const double t = net.transfer_time_us(0, 4, b);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Network, JobSeedChangesLatency) {
+  MachineConfig m = tiny_test_machine();
+  m.net.job_latency_sigma = 0.3;
+  const Topology topo(m);
+  std::set<long> seen;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    const NetworkModel net(topo, seed);
+    EXPECT_GE(net.job_latency_multiplier(), 0.7);
+    EXPECT_LE(net.job_latency_multiplier(), 2.5);
+    seen.insert(std::lround(net.job_latency_multiplier() * 1e6));
+  }
+  EXPECT_GT(seen.size(), 8u);  // different jobs see different networks
+}
+
+TEST(Network, BackgroundCongestionOnlyHurtsGlobal) {
+  MachineConfig m = tiny_test_machine();
+  m.net.background_congestion_sigma = 0.5;
+  const Topology topo(m);
+  // Find a seed with noticeable congestion.
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const NetworkModel net(topo, seed);
+    if (net.background_global_factor() > 1.2) {
+      const NetworkModel calm(Topology(tiny_test_machine()), 0);
+      EXPECT_GT(net.beta_us_per_byte(LinkClass::Global),
+                calm.beta_us_per_byte(LinkClass::Global));
+      return;
+    }
+  }
+  FAIL() << "no seed produced visible congestion";
+}
+
+}  // namespace

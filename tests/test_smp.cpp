@@ -1,0 +1,282 @@
+// Correctness and cost tests for the experimental SMP-aware (hierarchical)
+// collective algorithms: results must match the flat algorithms' semantics
+// for any (nranks, ppn) split, and the hierarchy must actually pay off on
+// the cost model (intra-node rounds are cheap).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "collectives/types.hpp"
+#include "minimpi/cost_executor.hpp"
+#include "minimpi/data_executor.hpp"
+#include "simnet/allocation.hpp"
+#include "simnet/machine.hpp"
+#include "simnet/network.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace acclaim;
+using coll::Algorithm;
+using coll::Collective;
+using coll::CollParams;
+using minimpi::BufKind;
+using minimpi::DataExecutor;
+
+double input_value(int rank, std::uint64_t i) {
+  return static_cast<double>(rank + 1) * 100.0 + static_cast<double>(i);
+}
+
+using SmpCase = std::tuple<int, int, int>;  // nranks, ppn, root
+class SmpCollectives : public testing::TestWithParam<SmpCase> {};
+
+TEST_P(SmpCollectives, BcastDeliversEverywhere) {
+  const auto [nranks, ppn, root] = GetParam();
+  CollParams p;
+  p.nranks = nranks;
+  p.ppn = ppn;
+  p.root = root;
+  p.count = 16;
+  const auto sizes = coll::buffer_requirements(Collective::Bcast, p);
+  DataExecutor exec(nranks, sizes.send_bytes, sizes.recv_bytes, sizes.tmp_bytes);
+  auto& payload = exec.buffer(root, BufKind::Recv);
+  for (std::uint64_t i = 0; i < p.count; ++i) {
+    payload[i] = input_value(root, i);
+  }
+  build_schedule(Algorithm::BcastSmpBinomial, p, exec);
+  for (int r = 0; r < nranks; ++r) {
+    for (std::uint64_t i = 0; i < p.count; ++i) {
+      ASSERT_DOUBLE_EQ(exec.buffer(r, BufKind::Recv)[i], input_value(root, i))
+          << "rank " << r;
+    }
+  }
+}
+
+TEST_P(SmpCollectives, ReduceSumsAtRoot) {
+  const auto [nranks, ppn, root] = GetParam();
+  CollParams p;
+  p.nranks = nranks;
+  p.ppn = ppn;
+  p.root = root;
+  p.count = 8;
+  const auto sizes = coll::buffer_requirements(Collective::Reduce, p);
+  DataExecutor exec(nranks, sizes.send_bytes, sizes.recv_bytes, sizes.tmp_bytes);
+  for (int r = 0; r < nranks; ++r) {
+    for (std::uint64_t i = 0; i < p.count; ++i) {
+      exec.buffer(r, BufKind::Send)[i] = input_value(r, i);
+    }
+  }
+  build_schedule(Algorithm::ReduceSmpBinomial, p, exec);
+  for (std::uint64_t i = 0; i < p.count; ++i) {
+    double expect = 0.0;
+    for (int s = 0; s < nranks; ++s) {
+      expect += input_value(s, i);
+    }
+    ASSERT_NEAR(exec.buffer(root, BufKind::Recv)[i], expect, 1e-6);
+  }
+}
+
+TEST_P(SmpCollectives, AllreduceSumsEverywhere) {
+  const auto [nranks, ppn, root] = GetParam();
+  (void)root;  // allreduce has no root
+  CollParams p;
+  p.nranks = nranks;
+  p.ppn = ppn;
+  p.count = 8;
+  const auto sizes = coll::buffer_requirements(Collective::Allreduce, p);
+  DataExecutor exec(nranks, sizes.send_bytes, sizes.recv_bytes, sizes.tmp_bytes);
+  for (int r = 0; r < nranks; ++r) {
+    for (std::uint64_t i = 0; i < p.count; ++i) {
+      exec.buffer(r, BufKind::Send)[i] = input_value(r, i);
+    }
+  }
+  build_schedule(Algorithm::AllreduceSmp, p, exec);
+  for (int r = 0; r < nranks; ++r) {
+    for (std::uint64_t i = 0; i < p.count; ++i) {
+      double expect = 0.0;
+      for (int s = 0; s < nranks; ++s) {
+        expect += input_value(s, i);
+      }
+      ASSERT_NEAR(exec.buffer(r, BufKind::Recv)[i], expect, 1e-6) << "rank " << r;
+    }
+  }
+}
+
+TEST_P(SmpCollectives, BarrierSchedulesValidly) {
+  const auto [nranks, ppn, root] = GetParam();
+  (void)root;
+  CollParams p;
+  p.nranks = nranks;
+  p.ppn = ppn;
+  p.count = 1;
+  minimpi::RecordingSink sink;
+  ASSERT_NO_THROW(build_schedule(Algorithm::BarrierSmp, p, sink));
+  for (const auto& round : sink.rounds()) {
+    ASSERT_NO_THROW(minimpi::validate_round(round, nranks));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Splits, SmpCollectives,
+    testing::Values(SmpCase{1, 1, 0}, SmpCase{8, 1, 0},    // flat degenerations
+                    SmpCase{8, 4, 0}, SmpCase{8, 4, 5},    // even split, off-leader root
+                    SmpCase{12, 4, 11},                    // root on last node
+                    SmpCase{10, 4, 3},                     // ragged last node
+                    SmpCase{24, 8, 9}, SmpCase{7, 3, 6}),  // non-P2 everything
+    [](const testing::TestParamInfo<SmpCase>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_ppn" +
+             std::to_string(std::get<1>(info.param)) + "_r" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(SmpRegistry, ExperimentalGating) {
+  // Default views exclude the SMP family; opting in reveals it.
+  EXPECT_EQ(coll::algorithms_for(Collective::Bcast).size(), 3u);
+  // Opt-in reveals smp_binomial and pipeline_chain.
+  EXPECT_EQ(coll::algorithms_for(Collective::Bcast, true).size(), 5u);
+  EXPECT_EQ(coll::algorithms_for(Collective::Allreduce).size(), 2u);
+  EXPECT_EQ(coll::algorithms_for(Collective::Allreduce, true).size(), 3u);
+  EXPECT_TRUE(coll::algorithm_info(Algorithm::BcastSmpBinomial).experimental);
+  EXPECT_FALSE(coll::algorithm_info(Algorithm::BcastBinomial).experimental);
+  EXPECT_EQ(coll::parse_algorithm(Collective::Bcast, "smp_binomial"),
+            Algorithm::BcastSmpBinomial);
+}
+
+TEST(SmpCosts, HierarchyBeatsFlatRecursiveDoublingAtHighPpn) {
+  // Flat recursive-doubling allreduce makes every rank exchange the full
+  // vector every round — 16 concurrent NIC flows per node on the inter-node
+  // rounds. The SMP variant sends only one leader flow per node, so it wins
+  // decisively at high ppn. (Flat *binomial bcast* is already implicitly
+  // hierarchical under the block mapping — its low-mask hops are intra-node
+  // — which is why the SMP gain shows on allreduce, not bcast.)
+  const simnet::Topology topo(simnet::bebop_like());
+  const simnet::NetworkModel net(topo, 1);
+  std::vector<int> ids(8);
+  for (int i = 0; i < 8; ++i) {
+    ids[static_cast<std::size_t>(i)] = i;
+  }
+  const simnet::Allocation alloc(ids);
+  const int ppn = 16;
+  const minimpi::RankMap rm(alloc, ppn);
+  auto cost_of = [&](Algorithm alg) {
+    minimpi::CostExecutor cost(net, rm);
+    CollParams p;
+    p.nranks = 8 * ppn;
+    p.ppn = ppn;
+    p.count = 64 * 1024;
+    p.type_size = 1;
+    coll::build_schedule(alg, p, cost);
+    return cost.elapsed_us();
+  };
+  EXPECT_LT(cost_of(Algorithm::AllreduceSmp),
+            0.7 * cost_of(Algorithm::AllreduceRecursiveDoubling));
+}
+
+}  // namespace
+
+// ------------------------------------------------- pipelined chain family
+
+namespace {
+
+using PipeCase = std::tuple<int, std::uint64_t, int>;  // nranks, count, root
+class PipelineChain : public testing::TestWithParam<PipeCase> {};
+
+TEST_P(PipelineChain, BcastDeliversEverywhere) {
+  const auto [nranks, count, root] = GetParam();
+  CollParams p;
+  p.nranks = nranks;
+  p.count = count;
+  p.root = root;
+  const auto sizes = coll::buffer_requirements(Collective::Bcast, p);
+  DataExecutor exec(nranks, sizes.send_bytes, sizes.recv_bytes, sizes.tmp_bytes);
+  auto& payload = exec.buffer(root, BufKind::Recv);
+  for (std::uint64_t i = 0; i < p.count; ++i) {
+    payload[i] = input_value(root, i);
+  }
+  build_schedule(Algorithm::BcastPipelineChain, p, exec);
+  for (int r = 0; r < nranks; ++r) {
+    for (std::uint64_t i = 0; i < p.count; ++i) {
+      ASSERT_DOUBLE_EQ(exec.buffer(r, BufKind::Recv)[i], input_value(root, i))
+          << "rank " << r << " elem " << i;
+    }
+  }
+}
+
+TEST_P(PipelineChain, ReduceSumsAtRoot) {
+  const auto [nranks, count, root] = GetParam();
+  CollParams p;
+  p.nranks = nranks;
+  p.count = count;
+  p.root = root;
+  const auto sizes = coll::buffer_requirements(Collective::Reduce, p);
+  DataExecutor exec(nranks, sizes.send_bytes, sizes.recv_bytes, sizes.tmp_bytes);
+  for (int r = 0; r < nranks; ++r) {
+    for (std::uint64_t i = 0; i < p.count; ++i) {
+      exec.buffer(r, BufKind::Send)[i] = input_value(r, i);
+    }
+  }
+  build_schedule(Algorithm::ReducePipelineChain, p, exec);
+  for (std::uint64_t i = 0; i < p.count; ++i) {
+    double expect = 0.0;
+    for (int s = 0; s < nranks; ++s) {
+      expect += input_value(s, i);
+    }
+    ASSERT_NEAR(exec.buffer(root, BufKind::Recv)[i], expect, 1e-6) << "elem " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PipelineChain,
+    testing::Values(PipeCase{1, 16, 0},                 // degenerate
+                    PipeCase{2, 1, 0},                  // single segment
+                    PipeCase{5, 100, 0},                // sub-segment payload
+                    PipeCase{8, 4096, 3},               // multi-segment (32 KiB), rotated root
+                    PipeCase{13, 3000, 12}),            // non-P2 ranks, ragged last segment
+    [](const testing::TestParamInfo<PipeCase>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_c" +
+             std::to_string(std::get<1>(info.param)) + "_r" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(PipelineChainShape, PipelinesRatherThanSerializes) {
+  // With S segments over n ranks the schedule takes (n-1) + (S-1) rounds —
+  // far fewer than the (n-1)*S a non-pipelined chain would need.
+  minimpi::RecordingSink sink;
+  CollParams p;
+  p.nranks = 8;
+  p.count = 8 * 8192;  // 64 KiB over 8 KiB segments -> S = 8
+  p.type_size = 1;
+  build_schedule(Algorithm::BcastPipelineChain, p, sink);
+  EXPECT_EQ(sink.rounds().size(), 7u + 7u);
+  // Interior rounds carry multiple concurrent hops (the pipeline is full).
+  std::size_t max_concurrency = 0;
+  for (const auto& round : sink.rounds()) {
+    max_concurrency = std::max(max_concurrency, round.transfers.size());
+  }
+  EXPECT_GE(max_concurrency, 7u);
+}
+
+TEST(PipelineChainShape, BeatsBinomialForHugeMessagesOnAChain) {
+  // Large-message regime: segment pipelining approaches bandwidth-bound
+  // time while binomial retransmits the full payload log2(n) times.
+  const simnet::Topology topo(simnet::bebop_like());
+  const simnet::NetworkModel net(topo, 1);
+  std::vector<int> ids(8);
+  for (int i = 0; i < 8; ++i) {
+    ids[static_cast<std::size_t>(i)] = i;
+  }
+  const simnet::Allocation alloc(ids);
+  const minimpi::RankMap rm(alloc, 1);
+  auto cost_of = [&](Algorithm alg) {
+    minimpi::CostExecutor cost(net, rm);
+    CollParams p;
+    p.nranks = 8;
+    p.count = 4 << 20;  // 4 MiB
+    p.type_size = 1;
+    coll::build_schedule(alg, p, cost);
+    return cost.elapsed_us();
+  };
+  EXPECT_LT(cost_of(Algorithm::BcastPipelineChain), cost_of(Algorithm::BcastBinomial));
+}
+
+}  // namespace

@@ -1,0 +1,258 @@
+// Tests for the synthetic trace generator (Fig. 4 substrate) and the
+// application/break-even model (Fig. 15 substrate).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "platform/app_model.hpp"
+#include "test_helpers.hpp"
+#include "traces/traces.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace acclaim;
+
+TEST(Traces, FourLlnlLikeApps) {
+  const auto apps = traces::llnl_like_apps();
+  ASSERT_EQ(apps.size(), 4u);
+  int no_large = 0;
+  for (const auto& app : apps) {
+    EXPECT_FALSE(app.name.empty());
+    EXPECT_GT(app.p2_count_prob, 0.5);
+    EXPECT_LT(app.p2_count_prob, 1.0);
+    if (!app.has_large_scale_data) {
+      ++no_large;
+    }
+  }
+  EXPECT_EQ(no_large, 1);  // ParaDis has no 1024-node trace (Fig. 4 note)
+}
+
+TEST(Traces, GeneratedSizesAreValidAndMixed) {
+  util::Rng rng(1);
+  const auto apps = traces::llnl_like_apps();
+  const auto trace = traces::generate_trace(apps[1], 128, 20000, rng);
+  ASSERT_EQ(trace.size(), 20000u);
+  for (const auto& call : trace) {
+    EXPECT_GT(call.msg_bytes, 0u);
+  }
+  const auto profile = traces::profile_trace(trace);
+  EXPECT_EQ(profile.total_calls, 20000u);
+  EXPECT_GT(profile.calls_per_collective.size(), 1u);  // LAMMPS uses 3 collectives
+}
+
+TEST(Traces, AggregateNonP2FractionMatchesPaper) {
+  // The paper's headline: 15.7% of message sizes are non-P2 across the four
+  // applications. Allow +-3 percentage points for the synthetic stand-in.
+  util::Rng rng(2);
+  std::size_t total = 0;
+  std::size_t nonp2 = 0;
+  for (const auto& app : traces::llnl_like_apps()) {
+    for (int scale : {128, 1024}) {
+      if (scale == 1024 && !app.has_large_scale_data) {
+        continue;
+      }
+      const auto trace = traces::generate_trace(app, scale, 30000, rng);
+      const auto p = traces::profile_trace(trace);
+      total += p.total_calls;
+      nonp2 += p.nonp2_calls;
+    }
+  }
+  const double pct = 100.0 * static_cast<double>(nonp2) / static_cast<double>(total);
+  EXPECT_NEAR(pct, 15.7, 3.0);
+}
+
+TEST(Traces, NonP2FractionIsNearlyScaleIndependent) {
+  util::Rng rng(3);
+  for (const auto& app : traces::llnl_like_apps()) {
+    const auto small = traces::profile_trace(traces::generate_trace(app, 128, 40000, rng));
+    const auto large = traces::profile_trace(traces::generate_trace(app, 1024, 40000, rng));
+    EXPECT_NEAR(small.pct_nonp2, large.pct_nonp2, 2.5) << app.name;
+  }
+}
+
+TEST(Traces, RejectsDegenerateSpecs) {
+  util::Rng rng(4);
+  traces::AppTraceSpec bad;
+  bad.mix.clear();
+  EXPECT_THROW(traces::generate_trace(bad, 128, 10, rng), InvalidArgument);
+  traces::AppTraceSpec bad2;
+  bad2.type_sizes.clear();
+  EXPECT_THROW(traces::generate_trace(bad2, 128, 10, rng), InvalidArgument);
+  EXPECT_THROW(traces::generate_trace(traces::llnl_like_apps()[0], 0, 10, rng),
+               InvalidArgument);
+}
+
+TEST(Traces, ProfileArithmetic) {
+  const std::vector<traces::CollectiveCall> trace = {
+      {coll::Collective::Bcast, 1024},      // P2
+      {coll::Collective::Bcast, 1000},      // non-P2
+      {coll::Collective::Allreduce, 8},     // P2
+      {coll::Collective::Allreduce, 24},    // non-P2
+  };
+  const auto p = traces::profile_trace(trace);
+  EXPECT_EQ(p.total_calls, 4u);
+  EXPECT_EQ(p.nonp2_calls, 2u);
+  EXPECT_DOUBLE_EQ(p.pct_nonp2, 50.0);
+  EXPECT_EQ(p.calls_per_collective.at(coll::Collective::Bcast), 2u);
+}
+
+// ----------------------------------------------------------------- platform
+
+TEST(BreakEven, MatchesClosedForm) {
+  // R = T * s / (s - 1): with T = 5 min and s = 1.01, R ~ 8.4 h — the
+  // paper's "6.4-9.5 hours for a 1.01x speedup" band (Fig. 15).
+  const double t = 5.0 * 60.0;
+  const double r = platform::breakeven_runtime_s(t, 1.01);
+  EXPECT_NEAR(r, t * 1.01 / 0.01, 1e-9);
+  EXPECT_GT(r / 3600.0, 6.0);
+  EXPECT_LT(r / 3600.0, 10.0);
+  // Larger speedups amortize much faster.
+  EXPECT_LT(platform::breakeven_runtime_s(t, 1.10), r / 5.0);
+  EXPECT_THROW(platform::breakeven_runtime_s(t, 1.0), InvalidArgument);
+  EXPECT_THROW(platform::breakeven_runtime_s(-1.0, 1.1), InvalidArgument);
+}
+
+class AppModelTest : public testing::Test {
+ protected:
+  AppModelTest() : ds_(testing_support::small_dataset()) {
+    time_us_ = [this](const bench::Scenario& s, coll::Algorithm a) {
+      return ds_.time_us(s, a);
+    };
+    oracle_ = [this](const bench::Scenario& s) { return ds_.best_algorithm(s); };
+    pessimal_ = [this](const bench::Scenario& s) {
+      coll::Algorithm worst = coll::algorithms_for(s.collective).front();
+      double worst_us = 0.0;
+      for (coll::Algorithm a : coll::algorithms_for(s.collective)) {
+        if (ds_.time_us(s, a) > worst_us) {
+          worst_us = ds_.time_us(s, a);
+          worst = a;
+        }
+      }
+      return worst;
+    };
+  }
+  const bench::Dataset& ds_;
+  platform::TimeSource time_us_;
+  core::Selector oracle_;
+  core::Selector pessimal_;
+};
+
+TEST_F(AppModelTest, IterationTimeDecomposes) {
+  platform::ApplicationProfile profile;
+  profile.name = "toy";
+  profile.compute_s_per_iteration = 2.0;
+  profile.collectives = {{bench::Scenario{coll::Collective::Bcast, 4, 2, 1024}, 100.0}};
+  const platform::ApplicationModel app(profile);
+  const double coll_s = app.collective_s_per_iteration(oracle_, time_us_);
+  EXPECT_GT(coll_s, 0.0);
+  EXPECT_NEAR(app.iteration_s(oracle_, time_us_), 2.0 + coll_s, 1e-12);
+}
+
+TEST_F(AppModelTest, BetterSelectionsYieldSpeedup) {
+  platform::ApplicationProfile profile;
+  profile.name = "toy";
+  profile.compute_s_per_iteration = 0.001;
+  for (std::uint64_t msg : {64ull, 4096ull, 65536ull}) {
+    profile.collectives.push_back(
+        {bench::Scenario{coll::Collective::Allgather, 8, 4, msg}, 50.0});
+  }
+  const platform::ApplicationModel app(profile);
+  const double s = app.speedup(oracle_, pessimal_, time_us_);
+  EXPECT_GT(s, 1.05);
+  EXPECT_NEAR(app.speedup(oracle_, oracle_, time_us_), 1.0, 1e-12);
+}
+
+TEST_F(AppModelTest, SyntheticAppHitsRequestedCollectiveFraction) {
+  // Message sizes restricted to what the small test dataset contains.
+  const std::vector<std::uint64_t> msgs = {64, 1024, 16384, 65536};
+  for (double frac : {0.1, 0.3, 0.6}) {
+    const auto profile = platform::make_synthetic_app("synt", coll::Collective::Allreduce, 8, 4,
+                                                      frac, time_us_, oracle_, msgs);
+    const platform::ApplicationModel app(profile);
+    EXPECT_NEAR(app.collective_fraction(oracle_, time_us_), frac, 1e-9);
+  }
+  EXPECT_THROW(platform::make_synthetic_app("x", coll::Collective::Bcast, 8, 4, 0.0, time_us_,
+                                            oracle_, msgs),
+               InvalidArgument);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- replay
+
+#include "platform/trace_replay.hpp"
+
+namespace {
+
+using namespace acclaim;
+
+class ReplayTest : public testing::Test {
+ protected:
+  ReplayTest() : ds_(testing_support::small_dataset()) {
+    time_us_ = [this](const bench::Scenario& s, coll::Algorithm a) {
+      return ds_.time_us(s, a);
+    };
+    oracle_ = [this](const bench::Scenario& s) { return ds_.best_algorithm(s); };
+  }
+
+  /// A trace whose sizes all exist in the small dataset.
+  std::vector<traces::CollectiveCall> dataset_trace(std::size_t n) const {
+    std::vector<traces::CollectiveCall> trace;
+    const auto msgs = ds_.message_sizes(coll::Collective::Bcast);
+    util::Rng rng(8);
+    for (std::size_t i = 0; i < n; ++i) {
+      trace.push_back({coll::Collective::Bcast, msgs[rng.index(msgs.size())]});
+    }
+    return trace;
+  }
+
+  const bench::Dataset& ds_;
+  platform::TimeSource time_us_;
+  core::Selector oracle_;
+};
+
+TEST_F(ReplayTest, AccountsEveryCall) {
+  const auto trace = dataset_trace(5000);
+  const auto r = platform::replay_trace(trace, 8, 4, oracle_, time_us_);
+  EXPECT_EQ(r.calls, 5000u);
+  EXPECT_GT(r.total_s, 0.0);
+  EXPECT_GT(r.distinct_scenarios, 5u);
+  EXPECT_LT(r.distinct_scenarios, 40u);  // memoization collapses repeats
+  double sum = 0.0;
+  for (const auto& [c, s] : r.per_collective_s) {
+    sum += s;
+  }
+  EXPECT_NEAR(sum, r.total_s, 1e-9);
+}
+
+TEST_F(ReplayTest, MatchesBruteForcePricing) {
+  const auto trace = dataset_trace(300);
+  const auto r = platform::replay_trace(trace, 8, 4, oracle_, time_us_);
+  double expect_s = 0.0;
+  for (const auto& call : trace) {
+    const bench::Scenario s{call.collective, 8, 4, call.msg_bytes};
+    expect_s += ds_.best_time_us(s) * 1e-6;
+  }
+  EXPECT_NEAR(r.total_s, expect_s, 1e-9 * expect_s);
+}
+
+TEST_F(ReplayTest, OracleNeverLosesToAnySelector) {
+  const auto trace = dataset_trace(1000);
+  const core::Selector worst = [this](const bench::Scenario& s) {
+    coll::Algorithm w = coll::algorithms_for(s.collective).front();
+    double wt = 0.0;
+    for (coll::Algorithm a : coll::algorithms_for(s.collective)) {
+      if (ds_.time_us(s, a) > wt) {
+        wt = ds_.time_us(s, a);
+        w = a;
+      }
+    }
+    return w;
+  };
+  const double speedup = platform::replay_speedup(trace, 8, 4, oracle_, worst, time_us_);
+  EXPECT_GE(speedup, 1.0);
+  EXPECT_THROW(platform::replay_trace({}, 8, 4, oracle_, time_us_), InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,244 @@
+// Unit tests for the util library: RNG, statistics, CSV, units, tables.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace acclaim::util;
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(3.0, 5.0);
+    EXPECT_GE(v, 3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UniformIntRejectsBadRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(3, 2), acclaim::InvalidArgument);
+}
+
+TEST(Rng, NormalHasRoughMoments) {
+  Rng rng(11);
+  RunningStat s;
+  for (int i = 0; i < 20000; ++i) {
+    s.add(rng.normal(10.0, 2.0));
+  }
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, LognormalMedianRoughlyCorrect) {
+  Rng rng(12);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(rng.lognormal_median(3.0, 0.5));
+  }
+  EXPECT_NEAR(median(xs), 3.0, 0.1);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng a(5);
+  Rng b = a.split();
+  // The split stream should not replay the parent stream.
+  Rng a2(5);
+  a2.split();
+  EXPECT_NE(b.next_u64(), a2.next_u64() == b.next_u64() ? ~b.next_u64() : a2.next_u64());
+  SUCCEED();
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(3);
+  const auto sample = rng.sample_without_replacement(100, 30);
+  std::set<std::size_t> s(sample.begin(), sample.end());
+  EXPECT_EQ(s.size(), 30u);
+  for (std::size_t v : s) {
+    EXPECT_LT(v, 100u);
+  }
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), acclaim::InvalidArgument);
+}
+
+TEST(Rng, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(48));
+  EXPECT_EQ(floor_power_of_two(1), 1u);
+  EXPECT_EQ(floor_power_of_two(63), 32u);
+  EXPECT_EQ(floor_power_of_two(64), 64u);
+  EXPECT_EQ(ceil_power_of_two(1), 1u);
+  EXPECT_EQ(ceil_power_of_two(33), 64u);
+  EXPECT_EQ(ceil_power_of_two(64), 64u);
+}
+
+TEST(Stats, RunningStatMatchesBatch) {
+  Rng rng(2);
+  RunningStat s;
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-5, 20);
+    s.add(x);
+    xs.push_back(x);
+  }
+  EXPECT_NEAR(s.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(s.variance(), variance(xs), 1e-7);
+  EXPECT_EQ(s.count(), 500u);
+}
+
+TEST(Stats, EdgeCases) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(variance({1.0}), 0.0);
+  RunningStat s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.add(4.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 2.5);
+  EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+  EXPECT_THROW(percentile({}, 50), acclaim::InvalidArgument);
+}
+
+TEST(Stats, GeomeanAndPearson) {
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_THROW(geomean({1.0, -1.0}), acclaim::InvalidArgument);
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> b = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  const std::vector<double> c = {5, 4, 3, 2, 1};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+  EXPECT_EQ(pearson(a, {1, 1, 1, 1, 1}), 0.0);
+}
+
+TEST(Csv, WriteReadRoundTrip) {
+  const std::string path = std::filesystem::temp_directory_path() / "acclaim_csv_test.csv";
+  {
+    CsvWriter w(path);
+    w.header({"name", "value", "note"});
+    w.row({"a", "1.5", "plain"});
+    w.row({"b,c", "2", "has, comma"});
+    w.row({"q\"q", "3", "line\nbreak"});
+  }
+  const CsvTable t = read_csv(path);
+  ASSERT_EQ(t.columns.size(), 3u);
+  EXPECT_EQ(t.column_index("value"), 1u);
+  EXPECT_THROW(t.column_index("missing"), acclaim::NotFoundError);
+  ASSERT_EQ(t.rows.size(), 3u);
+  EXPECT_EQ(t.rows[1][0], "b,c");
+  EXPECT_EQ(t.rows[2][0], "q\"q");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RowWidthEnforced) {
+  const std::string path = std::filesystem::temp_directory_path() / "acclaim_csv_test2.csv";
+  CsvWriter w(path);
+  w.header({"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), acclaim::InvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(64), "64");
+  EXPECT_EQ(format_bytes(1024), "1K");
+  EXPECT_EQ(format_bytes(1536), "1536");
+  EXPECT_EQ(format_bytes(1 << 20), "1M");
+  EXPECT_EQ(format_bytes(1ULL << 30), "1G");
+}
+
+TEST(Units, ParseBytes) {
+  EXPECT_EQ(parse_bytes("64"), 64u);
+  EXPECT_EQ(parse_bytes("4K"), 4096u);
+  EXPECT_EQ(parse_bytes("1M"), 1048576u);
+  EXPECT_EQ(parse_bytes("2KB"), 2048u);
+  EXPECT_THROW(parse_bytes("abc"), acclaim::ParseError);
+  EXPECT_THROW(parse_bytes(""), acclaim::ParseError);
+  // Round trip over the P2 grid.
+  for (std::uint64_t b = 1; b <= (1ULL << 20); b <<= 1) {
+    EXPECT_EQ(parse_bytes(format_bytes(b)), b);
+  }
+}
+
+TEST(Units, FormatSeconds) {
+  EXPECT_EQ(format_seconds(5e-6), "5.0 us");
+  EXPECT_EQ(format_seconds(0.25), "250.0 ms");
+  EXPECT_EQ(format_seconds(90.0), "90.0 s");
+  EXPECT_EQ(format_seconds(600.0), "10.0 min");
+  EXPECT_EQ(format_seconds(7200.0), "2.0 h");
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  TablePrinter t({"metric", "v1", "v2"});
+  t.add_row({"slowdown", "1.03", "1.50"});
+  t.add_row_numeric("speedup", {2.25, 1.4}, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("metric"), std::string::npos);
+  EXPECT_NE(out.find("2.25"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_THROW(t.add_row({"too", "few"}), acclaim::InvalidArgument);
+}
+
+TEST(Error, RequireThrowsWithMessage) {
+  EXPECT_NO_THROW(acclaim::require(true, "ok"));
+  try {
+    acclaim::require(false, "precondition X");
+    FAIL() << "expected throw";
+  } catch (const acclaim::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("precondition X"), std::string::npos);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,318 @@
+// acclaim — command-line front end for the ACCLAiM autotuning library.
+//
+// Subcommands:
+//   collectives                         list collectives and their algorithms
+//   collect    --machine M --nodes N --ppn P --collectives a,b --out FILE
+//              exhaustively benchmark a feature grid into a dataset CSV
+//   train      --dataset FILE --collective C [--model OUT] [--rules OUT]
+//              active-learning training against a precollected dataset
+//   tune-job   --machine M --nodes N --ppn P --collectives a,b --rules OUT
+//              the full production pipeline (Fig. 1(b)) on a simulated job
+//   select     --rules FILE --collective C --nodes N --ppn P --msg SIZE
+//              resolve one scenario through a generated rule file
+//   inspect    --dataset FILE           dataset summary (per collective)
+//   breakeven  --training SECONDS --speedup S
+//              minimum application runtime that amortizes training (Fig. 15)
+#include <iostream>
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "benchdata/dataset.hpp"
+#include "cli_args.hpp"
+#include "core/acquisition.hpp"
+#include "core/active_learner.hpp"
+#include "core/evaluator.hpp"
+#include "core/heuristic.hpp"
+#include "core/pipeline.hpp"
+#include "platform/app_model.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace acclaim;
+
+simnet::MachineConfig machine_by_name(const std::string& name) {
+  if (name == "bebop") {
+    return simnet::bebop_like();
+  }
+  if (name == "theta") {
+    return simnet::theta_like();
+  }
+  if (name == "fattree") {
+    return simnet::fat_tree_like();
+  }
+  if (name == "tiny") {
+    return simnet::tiny_test_machine();
+  }
+  throw InvalidArgument("unknown machine '" + name + "' (bebop | theta | fattree | tiny)");
+}
+
+std::vector<coll::Collective> collectives_from(const std::string& csv) {
+  std::vector<coll::Collective> out;
+  for (const std::string& name : cli::split_csv(csv)) {
+    out.push_back(coll::parse_collective(name));
+  }
+  if (out.empty()) {
+    throw InvalidArgument("--collectives must name at least one collective");
+  }
+  return out;
+}
+
+int cmd_collectives() {
+  util::TablePrinter table({"collective", "algorithms", "P2-favoring"});
+  for (coll::Collective c : coll::all_collectives()) {
+    std::string algs;
+    std::string p2;
+    for (coll::Algorithm a : coll::algorithms_for(c)) {
+      const auto& info = coll::algorithm_info(a);
+      algs += (algs.empty() ? "" : ", ") + std::string(info.name);
+      p2 += (p2.empty() ? "" : ", ") + std::string(info.p2_favoring ? "yes" : "no");
+    }
+    table.add_row({coll::collective_name(c), algs, p2});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_collect(const cli::Args& args) {
+  const simnet::MachineConfig machine = machine_by_name(args.get("machine", "bebop"));
+  const int nodes = args.get_int("nodes", 32);
+  const int ppn = args.get_int("ppn", 16);
+  const std::uint64_t min_msg = args.get_bytes("min-msg", 8);
+  const std::uint64_t max_msg = args.get_bytes("max-msg", 1 << 20);
+  const std::string out = args.require_flag("out");
+  const auto collectives = collectives_from(args.get("collectives", "bcast"));
+  bench::FeatureGrid grid = bench::FeatureGrid::p2(nodes, ppn, min_msg, max_msg);
+  if (args.get("nonp2", "yes") == "yes") {
+    util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 7)));
+    const bench::FeatureGrid np2 = grid.with_nonp2_msgs(rng);
+    grid.msgs.insert(grid.msgs.end(), np2.msgs.begin(), np2.msgs.end());
+    std::sort(grid.msgs.begin(), grid.msgs.end());
+  }
+  std::size_t total = 0;
+  for (coll::Collective c : collectives) {
+    total += grid.points(c).size();
+  }
+  std::cout << "collecting " << total << " points on " << machine.name << "...\n";
+  const bench::Dataset ds = bench::precollect(
+      machine, grid, collectives, static_cast<std::uint64_t>(args.get_int("seed", 7)));
+  ds.save(out);
+  std::cout << "wrote " << out << " (" << ds.size() << " measurements, "
+            << util::format_seconds(ds.total_collection_cost_s())
+            << " of simulated collection)\n";
+  return 0;
+}
+
+int cmd_train(const cli::Args& args) {
+  const bench::Dataset ds = bench::Dataset::load(args.require_flag("dataset"));
+  const coll::Collective c = coll::parse_collective(args.get("collective", "bcast"));
+  // Recover the P2 axes from the dataset itself.
+  std::vector<int> nodes;
+  std::vector<int> ppns;
+  std::vector<std::uint64_t> msgs;
+  {
+    std::set<int> ns;
+    std::set<int> ps;
+    std::set<std::uint64_t> ms;
+    for (const bench::Scenario& s : ds.scenarios(c)) {
+      if (util::is_power_of_two(static_cast<std::uint64_t>(s.nnodes)) &&
+          util::is_power_of_two(s.msg_bytes)) {
+        ns.insert(s.nnodes);
+        ps.insert(s.ppn);
+        ms.insert(s.msg_bytes);
+      }
+    }
+    nodes.assign(ns.begin(), ns.end());
+    ppns.assign(ps.begin(), ps.end());
+    msgs.assign(ms.begin(), ms.end());
+  }
+  const core::FeatureSpace space(nodes, ppns, msgs);
+  core::DatasetEnvironment env(ds);
+  core::AcclaimAcquisition policy;
+  core::ActiveLearnerConfig cfg;
+  cfg.forest.n_trees = args.get_int("trees", 50);
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (args.has("max-points")) {
+    cfg.max_points = args.get_int("max-points", -1);
+  }
+  core::ActiveLearner learner(c, space, env, policy, cfg);
+  const core::TrainingResult result = learner.run();
+  const core::Evaluator ev(ds);
+  const double slow = ev.average_slowdown(space.scenarios(c), result.model);
+  std::cout << "trained " << coll::collective_name(c) << ": " << result.collected.size()
+            << " points, " << util::format_seconds(result.train_time_s)
+            << " simulated collection, " << (result.converged ? "converged" : "stopped")
+            << ", avg slowdown " << util::fixed(slow, 3) << "\n";
+  if (args.has("model")) {
+    result.model.to_json().dump_file(args.get("model"));
+    std::cout << "wrote model to " << args.get("model") << "\n";
+  }
+  if (args.has("rules")) {
+    const core::RuleTable table = core::RuleGenerator().generate(result.model, space);
+    core::rules_to_json({table}).dump_file(args.get("rules"));
+    std::cout << "wrote rules to " << args.get("rules") << "\n";
+  }
+  return 0;
+}
+
+int cmd_tune_job(const cli::Args& args) {
+  core::JobSpec spec;
+  spec.nnodes = args.get_int("nodes", 32);
+  spec.ppn = args.get_int("ppn", 16);
+  spec.min_msg = args.get_bytes("min-msg", 8);
+  spec.max_msg = args.get_bytes("max-msg", 1 << 20);
+  spec.job_seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  spec.collectives = collectives_from(args.get("collectives", "bcast,allreduce"));
+  core::ActiveLearnerConfig learner;
+  learner.forest.n_trees = args.get_int("trees", 50);
+  learner.max_points = args.get_int("max-points", 250);
+  const core::AcclaimPipeline pipeline(machine_by_name(args.get("machine", "theta")), learner);
+  const core::PipelineResult result = pipeline.run(spec);
+  util::TablePrinter table({"collective", "points", "time", "converged"});
+  for (const auto& t : result.training) {
+    table.add_row({coll::collective_name(t.collective), std::to_string(t.points),
+                   util::format_seconds(t.train_time_s), t.converged ? "yes" : "no"});
+  }
+  table.print(std::cout);
+  std::cout << "total training: " << util::format_seconds(result.total_training_s) << "\n";
+  const std::string out = args.get("rules", "acclaim_tuning.json");
+  result.config.dump_file(out);
+  std::cout << "wrote " << out << "\n";
+  return 0;
+}
+
+int cmd_select(const cli::Args& args) {
+  const core::SelectionEngine engine =
+      core::SelectionEngine::from_file(args.require_flag("rules"));
+  bench::Scenario s;
+  s.collective = coll::parse_collective(args.require_flag("collective"));
+  s.nnodes = args.get_int("nodes", 16);
+  s.ppn = args.get_int("ppn", 16);
+  s.msg_bytes = args.get_bytes("msg", 1024);
+  const coll::Algorithm tuned = engine.select(s);
+  const coll::Algorithm fallback = core::mpich_default_selection(s);
+  std::cout << s.to_string() << "\n  tuned rules:      " << coll::algorithm_info(tuned).name
+            << "\n  MPICH default:    " << coll::algorithm_info(fallback).name << "\n";
+  return 0;
+}
+
+int cmd_inspect(const cli::Args& args) {
+  const bench::Dataset ds = bench::Dataset::load(args.require_flag("dataset"));
+  const core::Evaluator ev(ds);
+  util::TablePrinter table({"collective", "scenarios", "points", "collection time",
+                            "heuristic slowdown"});
+  for (coll::Collective c : coll::all_collectives()) {
+    const auto scenarios = ds.scenarios(c);
+    if (scenarios.empty()) {
+      continue;
+    }
+    double cost = 0.0;
+    for (const auto& p : ds.points(c)) {
+      cost += ds.at(p).collect_cost_s;
+    }
+    table.add_row({coll::collective_name(c), std::to_string(scenarios.size()),
+                   std::to_string(ds.points(c).size()), util::format_seconds(cost),
+                   util::fixed(ev.average_slowdown(scenarios, core::mpich_default_selection),
+                               3)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_breakeven(const cli::Args& args) {
+  const double training_s = args.get_double("training", 300.0);
+  if (args.has("speedup")) {
+    const double s = args.get_double("speedup", 1.01);
+    std::cout << "training " << util::format_seconds(training_s) << " at " << s
+              << "x app speedup -> break-even runtime "
+              << util::format_seconds(platform::breakeven_runtime_s(training_s, s)) << "\n";
+    return 0;
+  }
+  util::TablePrinter table({"speedup", "break-even runtime"});
+  for (double s : {1.005, 1.01, 1.02, 1.05, 1.10, 1.20}) {
+    table.add_row({util::fixed(s, 3) + "x",
+                   util::format_seconds(platform::breakeven_runtime_s(training_s, s))});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+void usage() {
+  std::cout <<
+      R"(acclaim — ML-based MPI collective autotuning (CLUSTER'22 reproduction)
+
+usage: acclaim <command> [--flag value ...]
+
+commands:
+  collectives   list supported collectives and algorithms
+  collect       benchmark a feature grid into a dataset CSV
+                  --out FILE [--machine bebop|theta|tiny] [--nodes N] [--ppn P]
+                  [--collectives a,b] [--min-msg S] [--max-msg S] [--nonp2 yes|no] [--seed K]
+  train         active-learning training from a dataset
+                  --dataset FILE [--collective C] [--model OUT] [--rules OUT]
+                  [--trees N] [--max-points N] [--seed K]
+  tune-job      full pipeline on a simulated job (train + rule file)
+                  [--machine theta] [--nodes N] [--ppn P] [--collectives a,b]
+                  [--rules OUT] [--max-points N] [--seed K]
+  select        resolve a scenario through a rule file
+                  --rules FILE --collective C [--nodes N] [--ppn P] [--msg SIZE]
+  inspect       summarize a dataset CSV
+                  --dataset FILE
+  breakeven     training-cost amortization (Fig. 15)
+                  [--training SECONDS] [--speedup S]
+)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "collectives") {
+      return cmd_collectives();
+    }
+    if (cmd == "collect") {
+      return cmd_collect(cli::Args(argc - 2, argv + 2,
+                                   {"machine", "nodes", "ppn", "collectives", "min-msg",
+                                    "max-msg", "out", "nonp2", "seed"}));
+    }
+    if (cmd == "train") {
+      return cmd_train(cli::Args(
+          argc - 2, argv + 2,
+          {"dataset", "collective", "model", "rules", "trees", "max-points", "seed"}));
+    }
+    if (cmd == "tune-job") {
+      return cmd_tune_job(cli::Args(argc - 2, argv + 2,
+                                    {"machine", "nodes", "ppn", "collectives", "min-msg",
+                                     "max-msg", "rules", "trees", "max-points", "seed"}));
+    }
+    if (cmd == "select") {
+      return cmd_select(
+          cli::Args(argc - 2, argv + 2, {"rules", "collective", "nodes", "ppn", "msg"}));
+    }
+    if (cmd == "inspect") {
+      return cmd_inspect(cli::Args(argc - 2, argv + 2, {"dataset"}));
+    }
+    if (cmd == "breakeven") {
+      return cmd_breakeven(cli::Args(argc - 2, argv + 2, {"training", "speedup"}));
+    }
+    if (cmd == "--help" || cmd == "help" || cmd == "-h") {
+      usage();
+      return 0;
+    }
+    std::cerr << "unknown command '" << cmd << "'\n\n";
+    usage();
+    return 2;
+  } catch (const acclaim::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,73 @@
+#include "cli_args.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace acclaim::cli {
+
+Args::Args(int argc, char** argv, const std::vector<std::string>& known_flags) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag.rfind("--", 0) != 0) {
+      throw InvalidArgument("expected a --flag, got '" + flag + "'");
+    }
+    const std::string name = flag.substr(2);
+    if (std::find(known_flags.begin(), known_flags.end(), name) == known_flags.end()) {
+      throw InvalidArgument("unknown flag '--" + name + "'");
+    }
+    if (i + 1 >= argc) {
+      throw InvalidArgument("flag '--" + name + "' is missing its value");
+    }
+    values_[name] = argv[++i];
+  }
+}
+
+bool Args::has(const std::string& flag) const { return values_.count(flag) > 0; }
+
+std::string Args::get(const std::string& flag, const std::string& fallback) const {
+  const auto it = values_.find(flag);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::string Args::require_flag(const std::string& flag) const {
+  const auto it = values_.find(flag);
+  if (it == values_.end()) {
+    throw InvalidArgument("required flag '--" + flag + "' is missing");
+  }
+  return it->second;
+}
+
+int Args::get_int(const std::string& flag, int fallback) const {
+  return has(flag) ? std::stoi(values_.at(flag)) : fallback;
+}
+
+double Args::get_double(const std::string& flag, double fallback) const {
+  return has(flag) ? std::stod(values_.at(flag)) : fallback;
+}
+
+std::uint64_t Args::get_bytes(const std::string& flag, std::uint64_t fallback) const {
+  return has(flag) ? util::parse_bytes(values_.at(flag)) : fallback;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) {
+    out.push_back(cur);
+  }
+  return out;
+}
+
+}  // namespace acclaim::cli
