@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_smp_algorithms.dir/ext_smp_algorithms.cpp.o"
+  "CMakeFiles/ext_smp_algorithms.dir/ext_smp_algorithms.cpp.o.d"
+  "ext_smp_algorithms"
+  "ext_smp_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_smp_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

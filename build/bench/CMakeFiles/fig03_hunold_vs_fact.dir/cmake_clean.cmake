@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_hunold_vs_fact.dir/fig03_hunold_vs_fact.cpp.o"
+  "CMakeFiles/fig03_hunold_vs_fact.dir/fig03_hunold_vs_fact.cpp.o.d"
+  "fig03_hunold_vs_fact"
+  "fig03_hunold_vs_fact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_hunold_vs_fact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

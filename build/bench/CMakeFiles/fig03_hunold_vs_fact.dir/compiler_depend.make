@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_hunold_vs_fact.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_nonp2_traces.dir/fig04_nonp2_traces.cpp.o"
+  "CMakeFiles/fig04_nonp2_traces.dir/fig04_nonp2_traces.cpp.o.d"
+  "fig04_nonp2_traces"
+  "fig04_nonp2_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_nonp2_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_nonp2_traces.
+# This may be replaced when dependencies are built.

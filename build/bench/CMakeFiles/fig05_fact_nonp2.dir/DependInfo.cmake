@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig05_fact_nonp2.cpp" "bench/CMakeFiles/fig05_fact_nonp2.dir/fig05_fact_nonp2.cpp.o" "gcc" "bench/CMakeFiles/fig05_fact_nonp2.dir/fig05_fact_nonp2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/acclaim_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/traces/CMakeFiles/acclaim_traces.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/acclaim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/acclaim_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchdata/CMakeFiles/acclaim_benchdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/acclaim_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/acclaim_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/acclaim_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/acclaim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_fact_nonp2.dir/fig05_fact_nonp2.cpp.o"
+  "CMakeFiles/fig05_fact_nonp2.dir/fig05_fact_nonp2.cpp.o.d"
+  "fig05_fact_nonp2"
+  "fig05_fact_nonp2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_fact_nonp2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_testset_cost.dir/fig06_testset_cost.cpp.o"
+  "CMakeFiles/fig06_testset_cost.dir/fig06_testset_cost.cpp.o.d"
+  "fig06_testset_cost"
+  "fig06_testset_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_testset_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_variance_proxy.dir/fig07_variance_proxy.cpp.o"
+  "CMakeFiles/fig07_variance_proxy.dir/fig07_variance_proxy.cpp.o.d"
+  "fig07_variance_proxy"
+  "fig07_variance_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_variance_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

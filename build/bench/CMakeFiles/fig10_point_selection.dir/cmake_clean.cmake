@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_point_selection.dir/fig10_point_selection.cpp.o"
+  "CMakeFiles/fig10_point_selection.dir/fig10_point_selection.cpp.o.d"
+  "fig10_point_selection"
+  "fig10_point_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_point_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

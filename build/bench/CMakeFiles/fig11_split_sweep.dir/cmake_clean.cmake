@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_split_sweep.dir/fig11_split_sweep.cpp.o"
+  "CMakeFiles/fig11_split_sweep.dir/fig11_split_sweep.cpp.o.d"
+  "fig11_split_sweep"
+  "fig11_split_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_split_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

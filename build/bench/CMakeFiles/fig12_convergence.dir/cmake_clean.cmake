@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_convergence.dir/fig12_convergence.cpp.o"
+  "CMakeFiles/fig12_convergence.dir/fig12_convergence.cpp.o.d"
+  "fig12_convergence"
+  "fig12_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

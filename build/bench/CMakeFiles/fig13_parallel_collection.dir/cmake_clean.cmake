@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_parallel_collection.dir/fig13_parallel_collection.cpp.o"
+  "CMakeFiles/fig13_parallel_collection.dir/fig13_parallel_collection.cpp.o.d"
+  "fig13_parallel_collection"
+  "fig13_parallel_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_parallel_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

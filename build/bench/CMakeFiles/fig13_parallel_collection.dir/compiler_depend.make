@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_parallel_collection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_parallel_collection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_production_training.dir/fig14_production_training.cpp.o"
+  "CMakeFiles/fig14_production_training.dir/fig14_production_training.cpp.o.d"
+  "fig14_production_training"
+  "fig14_production_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_production_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

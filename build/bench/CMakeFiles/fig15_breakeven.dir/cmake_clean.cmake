@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_breakeven.dir/fig15_breakeven.cpp.o"
+  "CMakeFiles/fig15_breakeven.dir/fig15_breakeven.cpp.o.d"
+  "fig15_breakeven"
+  "fig15_breakeven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_breakeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_heuristic_gap.dir/tab_heuristic_gap.cpp.o"
+  "CMakeFiles/tab_heuristic_gap.dir/tab_heuristic_gap.cpp.o.d"
+  "tab_heuristic_gap"
+  "tab_heuristic_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_heuristic_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

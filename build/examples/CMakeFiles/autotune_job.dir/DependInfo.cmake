@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/autotune_job.cpp" "examples/CMakeFiles/autotune_job.dir/autotune_job.cpp.o" "gcc" "examples/CMakeFiles/autotune_job.dir/autotune_job.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/acclaim_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/acclaim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traces/CMakeFiles/acclaim_traces.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchdata/CMakeFiles/acclaim_benchdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/acclaim_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/acclaim_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/acclaim_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/acclaim_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/acclaim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_job.dir/autotune_job.cpp.o"
+  "CMakeFiles/autotune_job.dir/autotune_job.cpp.o.d"
+  "autotune_job"
+  "autotune_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

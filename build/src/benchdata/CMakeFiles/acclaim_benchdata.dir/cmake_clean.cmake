@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acclaim_benchdata.dir/dataset.cpp.o"
+  "CMakeFiles/acclaim_benchdata.dir/dataset.cpp.o.d"
+  "CMakeFiles/acclaim_benchdata.dir/grid.cpp.o"
+  "CMakeFiles/acclaim_benchdata.dir/grid.cpp.o.d"
+  "CMakeFiles/acclaim_benchdata.dir/microbenchmark.cpp.o"
+  "CMakeFiles/acclaim_benchdata.dir/microbenchmark.cpp.o.d"
+  "CMakeFiles/acclaim_benchdata.dir/point.cpp.o"
+  "CMakeFiles/acclaim_benchdata.dir/point.cpp.o.d"
+  "libacclaim_benchdata.a"
+  "libacclaim_benchdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acclaim_benchdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

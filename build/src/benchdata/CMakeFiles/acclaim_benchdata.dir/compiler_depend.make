@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for acclaim_benchdata.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for acclaim_benchdata.
+# This may be replaced when dependencies are built.

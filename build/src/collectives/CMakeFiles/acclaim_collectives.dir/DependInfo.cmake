@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collectives/allgather.cpp" "src/collectives/CMakeFiles/acclaim_collectives.dir/allgather.cpp.o" "gcc" "src/collectives/CMakeFiles/acclaim_collectives.dir/allgather.cpp.o.d"
+  "/root/repo/src/collectives/allreduce.cpp" "src/collectives/CMakeFiles/acclaim_collectives.dir/allreduce.cpp.o" "gcc" "src/collectives/CMakeFiles/acclaim_collectives.dir/allreduce.cpp.o.d"
+  "/root/repo/src/collectives/alltoall.cpp" "src/collectives/CMakeFiles/acclaim_collectives.dir/alltoall.cpp.o" "gcc" "src/collectives/CMakeFiles/acclaim_collectives.dir/alltoall.cpp.o.d"
+  "/root/repo/src/collectives/barrier.cpp" "src/collectives/CMakeFiles/acclaim_collectives.dir/barrier.cpp.o" "gcc" "src/collectives/CMakeFiles/acclaim_collectives.dir/barrier.cpp.o.d"
+  "/root/repo/src/collectives/bcast.cpp" "src/collectives/CMakeFiles/acclaim_collectives.dir/bcast.cpp.o" "gcc" "src/collectives/CMakeFiles/acclaim_collectives.dir/bcast.cpp.o.d"
+  "/root/repo/src/collectives/engines.cpp" "src/collectives/CMakeFiles/acclaim_collectives.dir/engines.cpp.o" "gcc" "src/collectives/CMakeFiles/acclaim_collectives.dir/engines.cpp.o.d"
+  "/root/repo/src/collectives/gather_scatter.cpp" "src/collectives/CMakeFiles/acclaim_collectives.dir/gather_scatter.cpp.o" "gcc" "src/collectives/CMakeFiles/acclaim_collectives.dir/gather_scatter.cpp.o.d"
+  "/root/repo/src/collectives/intervals.cpp" "src/collectives/CMakeFiles/acclaim_collectives.dir/intervals.cpp.o" "gcc" "src/collectives/CMakeFiles/acclaim_collectives.dir/intervals.cpp.o.d"
+  "/root/repo/src/collectives/pipeline_chain.cpp" "src/collectives/CMakeFiles/acclaim_collectives.dir/pipeline_chain.cpp.o" "gcc" "src/collectives/CMakeFiles/acclaim_collectives.dir/pipeline_chain.cpp.o.d"
+  "/root/repo/src/collectives/reduce.cpp" "src/collectives/CMakeFiles/acclaim_collectives.dir/reduce.cpp.o" "gcc" "src/collectives/CMakeFiles/acclaim_collectives.dir/reduce.cpp.o.d"
+  "/root/repo/src/collectives/reduce_scatter.cpp" "src/collectives/CMakeFiles/acclaim_collectives.dir/reduce_scatter.cpp.o" "gcc" "src/collectives/CMakeFiles/acclaim_collectives.dir/reduce_scatter.cpp.o.d"
+  "/root/repo/src/collectives/smp.cpp" "src/collectives/CMakeFiles/acclaim_collectives.dir/smp.cpp.o" "gcc" "src/collectives/CMakeFiles/acclaim_collectives.dir/smp.cpp.o.d"
+  "/root/repo/src/collectives/types.cpp" "src/collectives/CMakeFiles/acclaim_collectives.dir/types.cpp.o" "gcc" "src/collectives/CMakeFiles/acclaim_collectives.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minimpi/CMakeFiles/acclaim_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/acclaim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/acclaim_simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

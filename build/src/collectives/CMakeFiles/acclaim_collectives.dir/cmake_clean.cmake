@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acclaim_collectives.dir/allgather.cpp.o"
+  "CMakeFiles/acclaim_collectives.dir/allgather.cpp.o.d"
+  "CMakeFiles/acclaim_collectives.dir/allreduce.cpp.o"
+  "CMakeFiles/acclaim_collectives.dir/allreduce.cpp.o.d"
+  "CMakeFiles/acclaim_collectives.dir/alltoall.cpp.o"
+  "CMakeFiles/acclaim_collectives.dir/alltoall.cpp.o.d"
+  "CMakeFiles/acclaim_collectives.dir/barrier.cpp.o"
+  "CMakeFiles/acclaim_collectives.dir/barrier.cpp.o.d"
+  "CMakeFiles/acclaim_collectives.dir/bcast.cpp.o"
+  "CMakeFiles/acclaim_collectives.dir/bcast.cpp.o.d"
+  "CMakeFiles/acclaim_collectives.dir/engines.cpp.o"
+  "CMakeFiles/acclaim_collectives.dir/engines.cpp.o.d"
+  "CMakeFiles/acclaim_collectives.dir/gather_scatter.cpp.o"
+  "CMakeFiles/acclaim_collectives.dir/gather_scatter.cpp.o.d"
+  "CMakeFiles/acclaim_collectives.dir/intervals.cpp.o"
+  "CMakeFiles/acclaim_collectives.dir/intervals.cpp.o.d"
+  "CMakeFiles/acclaim_collectives.dir/pipeline_chain.cpp.o"
+  "CMakeFiles/acclaim_collectives.dir/pipeline_chain.cpp.o.d"
+  "CMakeFiles/acclaim_collectives.dir/reduce.cpp.o"
+  "CMakeFiles/acclaim_collectives.dir/reduce.cpp.o.d"
+  "CMakeFiles/acclaim_collectives.dir/reduce_scatter.cpp.o"
+  "CMakeFiles/acclaim_collectives.dir/reduce_scatter.cpp.o.d"
+  "CMakeFiles/acclaim_collectives.dir/smp.cpp.o"
+  "CMakeFiles/acclaim_collectives.dir/smp.cpp.o.d"
+  "CMakeFiles/acclaim_collectives.dir/types.cpp.o"
+  "CMakeFiles/acclaim_collectives.dir/types.cpp.o.d"
+  "libacclaim_collectives.a"
+  "libacclaim_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acclaim_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

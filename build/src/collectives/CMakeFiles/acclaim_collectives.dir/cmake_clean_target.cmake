@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libacclaim_collectives.a"
+)

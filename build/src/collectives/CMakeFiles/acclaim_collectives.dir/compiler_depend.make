@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for acclaim_collectives.
+# This may be replaced when dependencies are built.

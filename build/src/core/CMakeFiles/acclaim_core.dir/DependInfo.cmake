@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/acquisition.cpp" "src/core/CMakeFiles/acclaim_core.dir/acquisition.cpp.o" "gcc" "src/core/CMakeFiles/acclaim_core.dir/acquisition.cpp.o.d"
+  "/root/repo/src/core/active_learner.cpp" "src/core/CMakeFiles/acclaim_core.dir/active_learner.cpp.o" "gcc" "src/core/CMakeFiles/acclaim_core.dir/active_learner.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/acclaim_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/acclaim_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/env.cpp" "src/core/CMakeFiles/acclaim_core.dir/env.cpp.o" "gcc" "src/core/CMakeFiles/acclaim_core.dir/env.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/acclaim_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/acclaim_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/feature_space.cpp" "src/core/CMakeFiles/acclaim_core.dir/feature_space.cpp.o" "gcc" "src/core/CMakeFiles/acclaim_core.dir/feature_space.cpp.o.d"
+  "/root/repo/src/core/heuristic.cpp" "src/core/CMakeFiles/acclaim_core.dir/heuristic.cpp.o" "gcc" "src/core/CMakeFiles/acclaim_core.dir/heuristic.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/acclaim_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/acclaim_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/acclaim_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/acclaim_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/rulegen.cpp" "src/core/CMakeFiles/acclaim_core.dir/rulegen.cpp.o" "gcc" "src/core/CMakeFiles/acclaim_core.dir/rulegen.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/acclaim_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/acclaim_core.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchdata/CMakeFiles/acclaim_benchdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/acclaim_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/acclaim_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/acclaim_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/acclaim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/acclaim_minimpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acclaim_core.dir/acquisition.cpp.o"
+  "CMakeFiles/acclaim_core.dir/acquisition.cpp.o.d"
+  "CMakeFiles/acclaim_core.dir/active_learner.cpp.o"
+  "CMakeFiles/acclaim_core.dir/active_learner.cpp.o.d"
+  "CMakeFiles/acclaim_core.dir/baselines.cpp.o"
+  "CMakeFiles/acclaim_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/acclaim_core.dir/env.cpp.o"
+  "CMakeFiles/acclaim_core.dir/env.cpp.o.d"
+  "CMakeFiles/acclaim_core.dir/evaluator.cpp.o"
+  "CMakeFiles/acclaim_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/acclaim_core.dir/feature_space.cpp.o"
+  "CMakeFiles/acclaim_core.dir/feature_space.cpp.o.d"
+  "CMakeFiles/acclaim_core.dir/heuristic.cpp.o"
+  "CMakeFiles/acclaim_core.dir/heuristic.cpp.o.d"
+  "CMakeFiles/acclaim_core.dir/model.cpp.o"
+  "CMakeFiles/acclaim_core.dir/model.cpp.o.d"
+  "CMakeFiles/acclaim_core.dir/pipeline.cpp.o"
+  "CMakeFiles/acclaim_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/acclaim_core.dir/rulegen.cpp.o"
+  "CMakeFiles/acclaim_core.dir/rulegen.cpp.o.d"
+  "CMakeFiles/acclaim_core.dir/scheduler.cpp.o"
+  "CMakeFiles/acclaim_core.dir/scheduler.cpp.o.d"
+  "libacclaim_core.a"
+  "libacclaim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acclaim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

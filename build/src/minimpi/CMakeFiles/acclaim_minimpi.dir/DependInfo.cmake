@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minimpi/cost_executor.cpp" "src/minimpi/CMakeFiles/acclaim_minimpi.dir/cost_executor.cpp.o" "gcc" "src/minimpi/CMakeFiles/acclaim_minimpi.dir/cost_executor.cpp.o.d"
+  "/root/repo/src/minimpi/data_executor.cpp" "src/minimpi/CMakeFiles/acclaim_minimpi.dir/data_executor.cpp.o" "gcc" "src/minimpi/CMakeFiles/acclaim_minimpi.dir/data_executor.cpp.o.d"
+  "/root/repo/src/minimpi/ops.cpp" "src/minimpi/CMakeFiles/acclaim_minimpi.dir/ops.cpp.o" "gcc" "src/minimpi/CMakeFiles/acclaim_minimpi.dir/ops.cpp.o.d"
+  "/root/repo/src/minimpi/schedule.cpp" "src/minimpi/CMakeFiles/acclaim_minimpi.dir/schedule.cpp.o" "gcc" "src/minimpi/CMakeFiles/acclaim_minimpi.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/acclaim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/acclaim_simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acclaim_minimpi.dir/cost_executor.cpp.o"
+  "CMakeFiles/acclaim_minimpi.dir/cost_executor.cpp.o.d"
+  "CMakeFiles/acclaim_minimpi.dir/data_executor.cpp.o"
+  "CMakeFiles/acclaim_minimpi.dir/data_executor.cpp.o.d"
+  "CMakeFiles/acclaim_minimpi.dir/ops.cpp.o"
+  "CMakeFiles/acclaim_minimpi.dir/ops.cpp.o.d"
+  "CMakeFiles/acclaim_minimpi.dir/schedule.cpp.o"
+  "CMakeFiles/acclaim_minimpi.dir/schedule.cpp.o.d"
+  "libacclaim_minimpi.a"
+  "libacclaim_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acclaim_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acclaim_ml.dir/forest.cpp.o"
+  "CMakeFiles/acclaim_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/acclaim_ml.dir/metrics.cpp.o"
+  "CMakeFiles/acclaim_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/acclaim_ml.dir/tree.cpp.o"
+  "CMakeFiles/acclaim_ml.dir/tree.cpp.o.d"
+  "libacclaim_ml.a"
+  "libacclaim_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acclaim_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acclaim_platform.dir/app_model.cpp.o"
+  "CMakeFiles/acclaim_platform.dir/app_model.cpp.o.d"
+  "CMakeFiles/acclaim_platform.dir/trace_replay.cpp.o"
+  "CMakeFiles/acclaim_platform.dir/trace_replay.cpp.o.d"
+  "libacclaim_platform.a"
+  "libacclaim_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acclaim_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

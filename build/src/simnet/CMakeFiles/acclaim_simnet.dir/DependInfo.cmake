@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/allocation.cpp" "src/simnet/CMakeFiles/acclaim_simnet.dir/allocation.cpp.o" "gcc" "src/simnet/CMakeFiles/acclaim_simnet.dir/allocation.cpp.o.d"
+  "/root/repo/src/simnet/machine.cpp" "src/simnet/CMakeFiles/acclaim_simnet.dir/machine.cpp.o" "gcc" "src/simnet/CMakeFiles/acclaim_simnet.dir/machine.cpp.o.d"
+  "/root/repo/src/simnet/network.cpp" "src/simnet/CMakeFiles/acclaim_simnet.dir/network.cpp.o" "gcc" "src/simnet/CMakeFiles/acclaim_simnet.dir/network.cpp.o.d"
+  "/root/repo/src/simnet/topology.cpp" "src/simnet/CMakeFiles/acclaim_simnet.dir/topology.cpp.o" "gcc" "src/simnet/CMakeFiles/acclaim_simnet.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/acclaim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acclaim_simnet.dir/allocation.cpp.o"
+  "CMakeFiles/acclaim_simnet.dir/allocation.cpp.o.d"
+  "CMakeFiles/acclaim_simnet.dir/machine.cpp.o"
+  "CMakeFiles/acclaim_simnet.dir/machine.cpp.o.d"
+  "CMakeFiles/acclaim_simnet.dir/network.cpp.o"
+  "CMakeFiles/acclaim_simnet.dir/network.cpp.o.d"
+  "CMakeFiles/acclaim_simnet.dir/topology.cpp.o"
+  "CMakeFiles/acclaim_simnet.dir/topology.cpp.o.d"
+  "libacclaim_simnet.a"
+  "libacclaim_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acclaim_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acclaim_traces.dir/traces.cpp.o"
+  "CMakeFiles/acclaim_traces.dir/traces.cpp.o.d"
+  "libacclaim_traces.a"
+  "libacclaim_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acclaim_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acclaim_util.dir/csv.cpp.o"
+  "CMakeFiles/acclaim_util.dir/csv.cpp.o.d"
+  "CMakeFiles/acclaim_util.dir/error.cpp.o"
+  "CMakeFiles/acclaim_util.dir/error.cpp.o.d"
+  "CMakeFiles/acclaim_util.dir/json.cpp.o"
+  "CMakeFiles/acclaim_util.dir/json.cpp.o.d"
+  "CMakeFiles/acclaim_util.dir/log.cpp.o"
+  "CMakeFiles/acclaim_util.dir/log.cpp.o.d"
+  "CMakeFiles/acclaim_util.dir/rng.cpp.o"
+  "CMakeFiles/acclaim_util.dir/rng.cpp.o.d"
+  "CMakeFiles/acclaim_util.dir/stats.cpp.o"
+  "CMakeFiles/acclaim_util.dir/stats.cpp.o.d"
+  "CMakeFiles/acclaim_util.dir/table.cpp.o"
+  "CMakeFiles/acclaim_util.dir/table.cpp.o.d"
+  "CMakeFiles/acclaim_util.dir/units.cpp.o"
+  "CMakeFiles/acclaim_util.dir/units.cpp.o.d"
+  "libacclaim_util.a"
+  "libacclaim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acclaim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

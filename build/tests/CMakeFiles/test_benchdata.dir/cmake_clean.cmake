@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchdata.dir/test_benchdata.cpp.o"
+  "CMakeFiles/test_benchdata.dir/test_benchdata.cpp.o.d"
+  "test_benchdata"
+  "test_benchdata.pdb"
+  "test_benchdata[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collective_costs.dir/test_collective_costs.cpp.o"
+  "CMakeFiles/test_collective_costs.dir/test_collective_costs.cpp.o.d"
+  "test_collective_costs"
+  "test_collective_costs.pdb"
+  "test_collective_costs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collective_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

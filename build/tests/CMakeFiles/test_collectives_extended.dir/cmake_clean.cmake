@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collectives_extended.dir/test_collectives_extended.cpp.o"
+  "CMakeFiles/test_collectives_extended.dir/test_collectives_extended.cpp.o.d"
+  "test_collectives_extended"
+  "test_collectives_extended.pdb"
+  "test_collectives_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collectives_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

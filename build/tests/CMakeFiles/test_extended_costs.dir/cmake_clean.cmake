@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extended_costs.dir/test_extended_costs.cpp.o"
+  "CMakeFiles/test_extended_costs.dir/test_extended_costs.cpp.o.d"
+  "test_extended_costs"
+  "test_extended_costs.pdb"
+  "test_extended_costs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extended_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_learning.dir/test_learning.cpp.o"
+  "CMakeFiles/test_learning.dir/test_learning.cpp.o.d"
+  "test_learning"
+  "test_learning.pdb"
+  "test_learning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rulegen.dir/test_rulegen.cpp.o"
+  "CMakeFiles/test_rulegen.dir/test_rulegen.cpp.o.d"
+  "test_rulegen"
+  "test_rulegen.pdb"
+  "test_rulegen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rulegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smp.dir/test_smp.cpp.o"
+  "CMakeFiles/test_smp.dir/test_smp.cpp.o.d"
+  "test_smp"
+  "test_smp.pdb"
+  "test_smp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acclaim.dir/acclaim_cli.cpp.o"
+  "CMakeFiles/acclaim.dir/acclaim_cli.cpp.o.d"
+  "CMakeFiles/acclaim.dir/cli_args.cpp.o"
+  "CMakeFiles/acclaim.dir/cli_args.cpp.o.d"
+  "acclaim"
+  "acclaim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

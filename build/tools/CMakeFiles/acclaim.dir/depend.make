@@ -1,0 +1,2 @@
+# Empty dependencies file for acclaim.
+# This may be replaced when dependencies are built.
