@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 
+#include "telemetry/trace.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
@@ -135,6 +137,19 @@ double converge_time_s(const std::vector<SweepRow>& rows, double threshold) {
 }
 
 void banner(const std::string& figure, const std::string& claim) {
+  // ACCLAIM_TRACE=file.jsonl streams telemetry events from any figure
+  // harness without a rebuild. First banner() wins; tracing stays off (a
+  // single relaxed load per instrument site) when the variable is unset.
+  static const bool traced = [] {
+    const char* path = std::getenv("ACCLAIM_TRACE");
+    if (path != nullptr && *path != '\0') {
+      telemetry::tracer().open_stream(path);
+      std::cerr << "[telemetry] streaming trace to " << path << "\n";
+      return true;
+    }
+    return false;
+  }();
+  (void)traced;
   std::cout << "==============================================================\n"
             << figure << "\n"
             << claim << "\n"

@@ -165,8 +165,8 @@ Dataset precollect(const simnet::MachineConfig& machine, const FeatureGrid& grid
       util::Rng point_rng = rng.split();
       ds.add(point, mb.run(point, alloc, point_rng));
     }
-    util::log_info() << "precollected " << coll::collective_name(c) << " ("
-                     << grid.points(c).size() << " points)";
+    AC_LOG_INFO() << "precollected " << coll::collective_name(c) << " ("
+                  << grid.points(c).size() << " points)";
   }
   return ds;
 }
@@ -175,10 +175,10 @@ Dataset load_or_collect(const std::string& path, const simnet::MachineConfig& ma
                         const FeatureGrid& grid, const std::vector<coll::Collective>& collectives,
                         std::uint64_t seed, MicrobenchConfig config) {
   if (std::filesystem::exists(path)) {
-    util::log_info() << "loading dataset from " << path;
+    AC_LOG_INFO() << "loading dataset from " << path;
     return Dataset::load(path);
   }
-  util::log_info() << "collecting dataset into " << path;
+  AC_LOG_INFO() << "collecting dataset into " << path;
   Dataset ds = precollect(machine, grid, collectives, seed, config);
   const auto dir = std::filesystem::path(path).parent_path();
   if (!dir.empty()) {

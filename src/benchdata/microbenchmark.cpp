@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "minimpi/cost_executor.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -83,6 +84,13 @@ Measurement Microbenchmark::run_with_load(const BenchmarkPoint& point,
   const double run_us = static_cast<double>(warmup + iters) * base_us;
   m.collect_cost_s = config_.launch_base_s +
                      config_.launch_per_rank_s * point.scenario.nranks() + run_us * 1e-6;
+  static telemetry::Counter& runs = telemetry::metrics().counter("simnet.microbench_runs");
+  static telemetry::Gauge& modeled = telemetry::metrics().gauge("simnet.modeled_run_us");
+  static telemetry::Histogram& latency =
+      telemetry::metrics().histogram("simnet.schedule_us", {1.0, 32});
+  runs.add();
+  modeled.add(run_us);
+  latency.observe(base_us);
   return m;
 }
 

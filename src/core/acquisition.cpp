@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/error.hpp"
 
 namespace acclaim::core {
@@ -86,12 +88,34 @@ AcquisitionPolicy::Pick AcclaimAcquisition::next(const CollectiveModel& model,
       model.trained() ? pick_by_variance(model, pool, config_.pick, rng) : rng.index(pool.size());
   bench::BenchmarkPoint point = pool[best];
   const bool nonp2_turn = config_.nonp2_cadence > 0 && picks_ % config_.nonp2_cadence == 0;
+  bool swapped = false;
   if (nonp2_turn) {
     // Swap the message size for a random non-P2 size whose closest P2 value
     // is the selected one (§IV-B).
     if (const auto m = env.nonp2_msg_near(point.scenario.msg_bytes, rng)) {
       point.scenario.msg_bytes = *m;
+      swapped = true;
     }
+  }
+  static telemetry::Counter& picks = telemetry::metrics().counter("acquisition.picks");
+  static telemetry::Counter& swaps = telemetry::metrics().counter("acquisition.nonp2_swaps");
+  picks.add();
+  if (swapped) {
+    swaps.add();
+  }
+  if (telemetry::tracer().enabled()) {
+    telemetry::TraceEvent ev;
+    ev.kind = telemetry::EventKind::PointAcquired;
+    ev.label = coll::collective_name(point.scenario.collective);
+    ev.fields["nnodes"] = point.scenario.nnodes;
+    ev.fields["ppn"] = point.scenario.ppn;
+    ev.fields["msg_bytes"] = point.scenario.msg_bytes;
+    ev.fields["algorithm"] = coll::algorithm_info(point.algorithm).name;
+    // The signal that drove the pick: the chosen point's jackknife variance
+    // under the current model (0 during the random seed phase).
+    ev.fields["variance"] = model.trained() ? model.jackknife_variance(pool[best]) : 0.0;
+    ev.fields["nonp2"] = swapped;
+    telemetry::tracer().record(std::move(ev));
   }
   return {best, point};
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -48,6 +50,7 @@ TrainingResult ActiveLearner::run() {
   const bool can_parallel = config_.parallel_collection && env_.topology() != nullptr &&
                             env_.allocation() != nullptr;
 
+  static telemetry::Counter& refit_counter = telemetry::metrics().counter("model_refits");
   auto refit = [&](bool force) {
     const bool due = result.collected.size() >= points_at_last_fit +
                                                     static_cast<std::size_t>(config_.refit_every);
@@ -58,6 +61,14 @@ TrainingResult ActiveLearner::run() {
       // the *data*, not resampling jitter.
       result.model.fit(result.collected, config_.seed);
       points_at_last_fit = result.collected.size();
+      refit_counter.add();
+      if (telemetry::tracer().enabled()) {
+        telemetry::TraceEvent ev;
+        ev.kind = telemetry::EventKind::ModelRefit;
+        ev.label = coll::collective_name(collective_);
+        ev.fields["points"] = result.collected.size();
+        telemetry::tracer().record(std::move(ev));
+      }
     }
   };
 
@@ -86,6 +97,21 @@ TrainingResult ActiveLearner::run() {
           for (std::size_t i = 0; i < batch.items.size(); ++i) {
             result.collected.push_back({batch.items[i].point, measurements[i].mean_us});
             policy_.observe(batch.items[i].point, measurements[i].mean_us);
+            // The batch path bypasses policy_.next(), so it must emit its
+            // own point_acquired events to keep the trace's acquisition
+            // count equal to the points actually collected.
+            if (telemetry::tracer().enabled()) {
+              const bench::BenchmarkPoint& point = batch.items[i].point;
+              telemetry::TraceEvent ev;
+              ev.kind = telemetry::EventKind::PointAcquired;
+              ev.label = coll::collective_name(collective_);
+              ev.fields["nnodes"] = point.scenario.nnodes;
+              ev.fields["ppn"] = point.scenario.ppn;
+              ev.fields["msg_bytes"] = point.scenario.msg_bytes;
+              ev.fields["algorithm"] = coll::algorithm_info(point.algorithm).name;
+              ev.fields["batched"] = true;
+              telemetry::tracer().record(std::move(ev));
+            }
           }
           // Erase consumed pool entries (descending index order).
           std::vector<std::size_t> consumed = batch.consumed;
@@ -134,10 +160,35 @@ TrainingResult ActiveLearner::run() {
         const double delta = std::abs(ema - ref);
         const double tol = config_.variance_abs_tol + config_.variance_rel_tol * std::abs(ref);
         calm_iters = delta < tol ? calm_iters + 1 : 0;
+        if (telemetry::tracer().enabled()) {
+          telemetry::TraceEvent ev;
+          ev.kind = telemetry::EventKind::ConvergenceCheck;
+          ev.label = coll::collective_name(collective_);
+          ev.fields["iteration"] = rec.iteration;
+          ev.fields["delta"] = delta;
+          ev.fields["tol"] = tol;
+          ev.fields["calm_iters"] = calm_iters;
+          telemetry::tracer().record(std::move(ev));
+        }
       }
       rec.cumulative_variance_ema = ema;
     }
     result.history.push_back(rec);
+    if (telemetry::tracer().enabled()) {
+      telemetry::TraceEvent ev;
+      ev.kind = telemetry::EventKind::TrainingIteration;
+      ev.label = coll::collective_name(collective_);
+      ev.fields["iteration"] = rec.iteration;
+      ev.fields["points"] = rec.points_collected;
+      ev.fields["variance"] = rec.cumulative_variance;
+      ev.fields["variance_ema"] = rec.cumulative_variance_ema;
+      ev.fields["batch_size"] = rec.batch_size;
+      ev.fields["clock_s"] = rec.clock_s;
+      ev.fields["converged"] = calm_iters >= config_.patience &&
+                               rec.points_collected >=
+                                   static_cast<std::size_t>(config_.min_points);
+      telemetry::tracer().record(std::move(ev));
+    }
 
     if (calm_iters >= config_.patience &&
         result.collected.size() >= static_cast<std::size_t>(config_.min_points)) {
@@ -148,11 +199,18 @@ TrainingResult ActiveLearner::run() {
 
   refit(/*force=*/true);
   result.train_time_s = env_.clock_s() - clock_start_s;
-  util::log_info() << "active learner (" << coll::collective_name(collective_) << ", "
-                   << policy_.name() << "): " << result.collected.size() << " points, "
-                   << result.iterations << " iterations, "
-                   << (result.converged ? "converged" : "stopped") << " after "
-                   << result.train_time_s << " s of collection";
+  static telemetry::Counter& runs = telemetry::metrics().counter("learner.runs");
+  static telemetry::Counter& iters = telemetry::metrics().counter("learner.iterations");
+  static telemetry::Histogram& points_hist =
+      telemetry::metrics().histogram("learner.points_per_run", {1.0, 16});
+  runs.add();
+  iters.add(static_cast<std::uint64_t>(result.iterations));
+  points_hist.observe(static_cast<double>(result.collected.size()));
+  AC_LOG_INFO() << "active learner (" << coll::collective_name(collective_) << ", "
+                << policy_.name() << "): " << result.collected.size() << " points, "
+                << result.iterations << " iterations, "
+                << (result.converged ? "converged" : "stopped") << " after "
+                << result.train_time_s << " s of collection";
   return result;
 }
 

@@ -3,9 +3,38 @@
 #include <algorithm>
 #include <set>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/error.hpp"
 
 namespace acclaim::core {
+
+namespace {
+
+/// Shared benchmark accounting for every environment implementation: the
+/// `benchmark_runs` counter / cost gauge the CLI exports and the per-run
+/// trace event the report builder folds into its totals.
+void note_benchmark(const char* source, const bench::BenchmarkPoint& point,
+                    const bench::Measurement& m) {
+  static telemetry::Counter& runs = telemetry::metrics().counter("benchmark_runs");
+  static telemetry::Gauge& cost = telemetry::metrics().gauge("benchmark_sim_cost_s");
+  runs.add();
+  cost.add(m.collect_cost_s);
+  if (telemetry::tracer().enabled()) {
+    telemetry::TraceEvent ev;
+    ev.kind = telemetry::EventKind::BenchmarkRun;
+    ev.label = coll::collective_name(point.scenario.collective);
+    ev.fields["source"] = source;
+    ev.fields["nnodes"] = point.scenario.nnodes;
+    ev.fields["ppn"] = point.scenario.ppn;
+    ev.fields["msg_bytes"] = point.scenario.msg_bytes;
+    ev.fields["mean_us"] = m.mean_us;
+    ev.fields["cost_s"] = m.collect_cost_s;
+    telemetry::tracer().record(std::move(ev));
+  }
+}
+
+}  // namespace
 
 std::vector<bench::Measurement> TuningEnvironment::measure_scheduled(
     const std::vector<ScheduledBenchmark>& batch) {
@@ -48,6 +77,7 @@ DatasetEnvironment::DatasetEnvironment(const bench::Dataset& dataset) : dataset_
 bench::Measurement DatasetEnvironment::measure(const bench::BenchmarkPoint& point) {
   const bench::Measurement& m = dataset_.at(point);  // throws if absent
   charge_s(m.collect_cost_s);
+  note_benchmark("dataset", point, m);
   return m;
 }
 
@@ -75,6 +105,7 @@ bench::Measurement LiveEnvironment::measure(const bench::BenchmarkPoint& point) 
   util::Rng point_rng = rng_.split();
   const bench::Measurement m = mb_.run(point, alloc_, point_rng);
   charge_s(m.collect_cost_s);
+  note_benchmark("live", point, m);
   return m;
 }
 
@@ -130,6 +161,7 @@ std::vector<bench::Measurement> LiveEnvironment::measure_scheduled(
     const bench::Measurement m =
         mb_.run_with_load(batch[i].point, sub, rack_flows, pair_flows, point_rng);
     makespan_s = std::max(makespan_s, m.collect_cost_s);
+    note_benchmark("live-parallel", batch[i].point, m);
     out.push_back(m);
   }
   charge_s(makespan_s);

@@ -1,5 +1,9 @@
 #include "core/scheduler.hpp"
 
+#include <map>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/error.hpp"
 
 namespace acclaim::core {
@@ -36,6 +40,55 @@ CollectionBatch CollectionScheduler::plan(const std::vector<bench::BenchmarkPoin
       while (cursor < alloc.num_nodes() && topo.rack_of(alloc.node(cursor)) <= last_rack) {
         ++cursor;
       }
+    }
+  }
+
+  if (!batch.items.empty()) {
+    static telemetry::Counter& batches = telemetry::metrics().counter("scheduler.batches");
+    static telemetry::Histogram& sizes =
+        telemetry::metrics().histogram("scheduler.batch_size", {1.0, 12});
+    batches.add();
+    sizes.observe(static_cast<double>(batch.items.size()));
+    if (telemetry::tracer().enabled()) {
+      int nodes_used = 0;
+      // Allocation fragments: maximal runs of consecutively-placed
+      // benchmarks; gaps come from whole-rack retirement.
+      int fragments = 0;
+      int expected_next = -1;
+      for (const ScheduledBenchmark& item : batch.items) {
+        nodes_used += item.point.scenario.nnodes;
+        if (item.first_node != expected_next) {
+          ++fragments;
+        }
+        expected_next = item.first_node + item.point.scenario.nnodes;
+      }
+      // Contention estimate: racks touched by more than one co-running
+      // benchmark (always 0 for the topology-aware greedy, the §III-D
+      // hazard count for the naive ablation).
+      int shared_racks = 0;
+      std::map<int, bool> rack_seen;
+      for (const ScheduledBenchmark& item : batch.items) {
+        std::map<int, bool> mine;
+        for (int k = 0; k < item.point.scenario.nnodes; ++k) {
+          mine[topo.rack_of(alloc.node(item.first_node + k))] = true;
+        }
+        for (const auto& [rack, _] : mine) {
+          if (rack_seen[rack]) {
+            ++shared_racks;
+          }
+          rack_seen[rack] = true;
+        }
+      }
+      telemetry::TraceEvent ev;
+      ev.kind = telemetry::EventKind::BatchScheduled;
+      ev.fields["batch_size"] = batch.items.size();
+      ev.fields["nodes_used"] = nodes_used;
+      ev.fields["nodes_retired"] = cursor - nodes_used;
+      ev.fields["alloc_nodes"] = alloc.num_nodes();
+      ev.fields["fragments"] = fragments;
+      ev.fields["shared_racks"] = shared_racks;
+      ev.fields["topology_aware"] = config_.topology_aware;
+      telemetry::tracer().record(std::move(ev));
     }
   }
   return batch;

@@ -1,5 +1,8 @@
 #include "ml/forest.hpp"
 
+#include <chrono>
+
+#include "telemetry/metrics.hpp"
 #include "util/error.hpp"
 
 namespace acclaim::ml {
@@ -8,6 +11,7 @@ void RandomForest::fit(const std::vector<FeatureRow>& X, const std::vector<doubl
                        const ForestParams& params, std::uint64_t seed) {
   require(params.n_trees >= 1, "forest requires at least one tree");
   require(!X.empty() && X.size() == y.size(), "forest requires non-empty, aligned X/y");
+  const auto start = std::chrono::steady_clock::now();
   trees_.assign(static_cast<std::size_t>(params.n_trees), DecisionTree{});
   util::Rng rng(seed);
   std::vector<std::size_t> sample(X.size());
@@ -22,6 +26,13 @@ void RandomForest::fit(const std::vector<FeatureRow>& X, const std::vector<doubl
       tree.fit(X, y, params.tree, tree_rng);
     }
   }
+  static telemetry::Counter& fits = telemetry::metrics().counter("ml.forest.fits");
+  static telemetry::Histogram& fit_ms =
+      telemetry::metrics().histogram("ml.forest.fit_ms", {0.01, 32});
+  fits.add();
+  fit_ms.observe(std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                           start)
+                     .count());
 }
 
 double RandomForest::predict(const FeatureRow& row) const {
@@ -45,6 +56,10 @@ void RandomForest::predict_trees(const FeatureRow& row, std::vector<double>& out
   for (std::size_t i = 0; i < trees_.size(); ++i) {
     out[i] = trees_[i].predict(row);
   }
+  // Hot path (jackknife variance sweeps call this per candidate per
+  // iteration): a relaxed increment only, no clock reads.
+  static telemetry::Counter& predicts = telemetry::metrics().counter("ml.forest.predicts");
+  predicts.add();
 }
 
 util::Json RandomForest::to_json() const {

@@ -1,5 +1,6 @@
 #include "simnet/machine.hpp"
 
+#include "telemetry/metrics.hpp"
 #include "util/error.hpp"
 
 namespace acclaim::simnet {
@@ -90,6 +91,14 @@ MachineConfig fat_tree_like() {
   m.net.job_latency_sigma = 0.15;    // uniform paths: less per-job spread
   m.validate();
   return m;
+}
+
+void record_machine_metrics(const MachineConfig& config) {
+  telemetry::MetricsRegistry& reg = telemetry::metrics();
+  reg.gauge("simnet.machine.total_nodes").set(config.total_nodes);
+  reg.gauge("simnet.machine.racks").set(config.num_racks());
+  reg.gauge("simnet.machine.cores_per_node").set(config.cores_per_node);
+  reg.counter("simnet.topologies_realized").add();
 }
 
 MachineConfig tiny_test_machine() {

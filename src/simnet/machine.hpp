@@ -110,4 +110,9 @@ MachineConfig fat_tree_like();
 /// Small machine for unit tests (fast, deterministic).
 MachineConfig tiny_test_machine();
 
+/// Publishes the machine's shape (nodes, racks, cores) as telemetry gauges
+/// under "simnet.machine.*" — called when a Topology is realized so metrics
+/// exports identify the machine a run executed on.
+void record_machine_metrics(const MachineConfig& config);
+
 }  // namespace acclaim::simnet

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
+
 namespace acclaim::simnet {
 
 NetworkModel::NetworkModel(const Topology& topo, std::uint64_t job_seed) : topo_(topo) {
@@ -11,6 +13,12 @@ NetworkModel::NetworkModel(const Topology& topo, std::uint64_t job_seed) : topo_
   // the paper reports "over 2x" spread, which a clamp at 2.5 preserves.
   lat_mult_ = std::clamp(rng.lognormal_median(1.0, p.job_latency_sigma), 0.7, 2.5);
   bg_global_ = std::max(1.0, rng.lognormal_median(1.0, p.background_congestion_sigma));
+  // One network realization per job: export the draw so metrics snapshots
+  // identify how (un)lucky this allocation's network was (§II-B2 spread).
+  telemetry::MetricsRegistry& reg = telemetry::metrics();
+  reg.counter("simnet.networks_realized").add();
+  reg.gauge("simnet.job_latency_mult").set(lat_mult_);
+  reg.gauge("simnet.background_global_factor").set(bg_global_);
 }
 
 double NetworkModel::alpha_us(LinkClass c) const {
@@ -30,6 +38,8 @@ double NetworkModel::beta_us_per_byte(LinkClass c) const {
 
 double NetworkModel::transfer_time_us(int src_node, int dst_node, std::uint64_t bytes) const {
   const LinkClass c = topo_.link_class(src_node, dst_node);
+  static telemetry::Counter& transfers = telemetry::metrics().counter("simnet.transfers");
+  transfers.add();
   return alpha_us(c) + static_cast<double>(bytes) * beta_us_per_byte(c);
 }
 

@@ -10,6 +10,7 @@ Topology::Topology(MachineConfig config) : config_(std::move(config)) {
   config_.validate();
   num_racks_ = config_.num_racks();
   num_pairs_ = config_.num_pairs();
+  record_machine_metrics(config_);
 }
 
 void Topology::check_node(int node) const {

@@ -1,0 +1,144 @@
+#include "telemetry/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace acclaim::telemetry {
+
+namespace {
+
+double num_field(const TraceEvent& ev, const char* key, double fallback = 0.0) {
+  const std::string k(key);
+  if (!ev.fields.contains(k)) {
+    return fallback;
+  }
+  const util::Json& v = ev.fields.at(k);
+  return v.is_number() ? v.as_number() : fallback;
+}
+
+bool bool_field(const TraceEvent& ev, const char* key) {
+  const std::string k(key);
+  return ev.fields.contains(k) && ev.fields.at(k).is_bool() && ev.fields.at(k).as_bool();
+}
+
+}  // namespace
+
+RunReport build_report(const std::vector<TraceEvent>& events) {
+  RunReport report;
+  for (const TraceEvent& ev : events) {
+    ++report.event_counts[event_kind_name(ev.kind)];
+    switch (ev.kind) {
+      case EventKind::Phase: {
+        RunReport::PhaseRow row;
+        row.label = ev.label;
+        row.sim_s = num_field(ev, "sim_s");
+        row.wall_ms = num_field(ev, "wall_ms");
+        if (ev.fields.contains("points")) {
+          row.points = static_cast<std::int64_t>(num_field(ev, "points"));
+          row.iterations = static_cast<std::int64_t>(num_field(ev, "iterations"));
+          row.converged = bool_field(ev, "converged");
+          row.has_outcome = true;
+        }
+        report.total_sim_s += row.sim_s;
+        report.phases.push_back(std::move(row));
+        break;
+      }
+      case EventKind::TrainingIteration: {
+        RunReport::VarianceSample s;
+        s.iteration = static_cast<int>(num_field(ev, "iteration"));
+        s.points = static_cast<std::size_t>(num_field(ev, "points"));
+        s.variance = num_field(ev, "variance");
+        s.ema = num_field(ev, "variance_ema");
+        s.batch_size = static_cast<int>(num_field(ev, "batch_size", 1.0));
+        report.trajectories[ev.label].push_back(s);
+        break;
+      }
+      case EventKind::BatchScheduled:
+        ++report.batch_histogram[static_cast<int>(num_field(ev, "batch_size", 1.0))];
+        break;
+      case EventKind::BenchmarkRun:
+        ++report.benchmark_runs;
+        report.benchmark_sim_cost_s += num_field(ev, "cost_s");
+        break;
+      case EventKind::ModelRefit:
+        ++report.model_refits;
+        break;
+      case EventKind::PointAcquired:
+        ++report.points_acquired;
+        if (bool_field(ev, "nonp2")) {
+          ++report.nonp2_swaps;
+        }
+        break;
+      case EventKind::ConvergenceCheck:
+        break;
+    }
+  }
+  return report;
+}
+
+void render_report(const RunReport& report, std::ostream& os, int max_trajectory_rows) {
+  os << "=== run summary ===\n";
+  {
+    util::TablePrinter table({"events", "count"});
+    for (const auto& [name, count] : report.event_counts) {
+      table.add_row({name, std::to_string(count)});
+    }
+    table.print(os);
+  }
+  os << "\nbenchmark runs: " << report.benchmark_runs << " ("
+     << util::format_seconds(report.benchmark_sim_cost_s) << " simulated)"
+     << "  model refits: " << report.model_refits << "  points acquired: "
+     << report.points_acquired << " (" << report.nonp2_swaps << " non-P2 swaps)\n";
+
+  if (!report.phases.empty()) {
+    os << "\n=== phase timing ===\n";
+    util::TablePrinter table({"phase", "sim time", "wall", "points", "iters", "converged"});
+    for (const auto& p : report.phases) {
+      table.add_row({p.label, util::format_seconds(p.sim_s),
+                     util::fixed(p.wall_ms, 1) + " ms",
+                     p.has_outcome ? std::to_string(p.points) : "-",
+                     p.has_outcome ? std::to_string(p.iterations) : "-",
+                     p.has_outcome ? (p.converged ? "yes" : "no") : "-"});
+    }
+    table.print(os);
+    os << "total simulated training: " << util::format_seconds(report.total_sim_s) << "\n";
+  }
+
+  for (const auto& [collective, samples] : report.trajectories) {
+    os << "\n=== variance trajectory: " << collective << " ===\n";
+    util::TablePrinter table({"iter", "points", "cum. variance", "ema", "batch"});
+    // Sample evenly but always keep the first and last iteration — the
+    // endpoints are what convergence questions are about.
+    const std::size_t n = samples.size();
+    const std::size_t rows = std::min<std::size_t>(
+        n, static_cast<std::size_t>(std::max(2, max_trajectory_rows)));
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t i = rows == 1 ? 0 : r * (n - 1) / (rows - 1);
+      const auto& s = samples[i];
+      table.add_row({std::to_string(s.iteration), std::to_string(s.points),
+                     util::fixed(s.variance, 6), util::fixed(s.ema, 6),
+                     std::to_string(s.batch_size)});
+    }
+    table.print(os);
+  }
+
+  if (!report.batch_histogram.empty()) {
+    os << "\n=== scheduler batch occupancy ===\n";
+    std::uint64_t peak = 0;
+    for (const auto& [size, count] : report.batch_histogram) {
+      peak = std::max(peak, count);
+    }
+    util::TablePrinter table({"batch size", "batches", ""});
+    for (const auto& [size, count] : report.batch_histogram) {
+      const std::size_t bar =
+          peak == 0 ? 0 : static_cast<std::size_t>(1 + 29 * (count - 1) / std::max<std::uint64_t>(peak, 1));
+      table.add_row({std::to_string(size), std::to_string(count), std::string(bar, '#')});
+    }
+    table.print(os);
+  }
+}
+
+}  // namespace acclaim::telemetry

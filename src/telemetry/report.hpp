@@ -1,0 +1,72 @@
+// Run reports: fold a trace into a human-readable summary.
+//
+// The report builder consumes the events a tuning run emitted (from the
+// in-memory ring or a JSON-lines file) and aggregates exactly the
+// quantities the paper's practicality argument rests on: where training
+// time went per collective, how many points each model needed, how the
+// convergence signal (cumulative jackknife variance) moved, and how well
+// the topology-aware scheduler packed parallel batches.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace.hpp"
+
+namespace acclaim::telemetry {
+
+struct RunReport {
+  /// One row per Phase event (per-collective training phases and any other
+  /// scoped phase the run emitted), in trace order.
+  struct PhaseRow {
+    std::string label;
+    double sim_s = 0.0;   ///< simulated collection seconds ("sim_s" field)
+    double wall_ms = 0.0; ///< host wall clock ("wall_ms" field)
+    std::int64_t points = -1;
+    std::int64_t iterations = -1;
+    bool converged = false;
+    bool has_outcome = false;  ///< points/iterations/converged fields present
+  };
+
+  /// Variance-trajectory sample from a training_iteration event.
+  struct VarianceSample {
+    int iteration = 0;
+    std::size_t points = 0;
+    double variance = 0.0;
+    double ema = 0.0;
+    int batch_size = 1;
+  };
+
+  std::vector<PhaseRow> phases;
+  double total_sim_s = 0.0;  ///< sum of phase sim_s
+
+  /// Per-collective variance trajectory, keyed by event label.
+  std::map<std::string, std::vector<VarianceSample>> trajectories;
+
+  /// Scheduler batch-size occupancy: batch size -> number of batches.
+  std::map<int, std::uint64_t> batch_histogram;
+
+  /// Events seen, by kind name (includes kinds not otherwise aggregated).
+  std::map<std::string, std::uint64_t> event_counts;
+
+  std::uint64_t benchmark_runs = 0;
+  double benchmark_sim_cost_s = 0.0;  ///< summed benchmark "cost_s" fields
+  std::uint64_t model_refits = 0;
+  std::uint64_t points_acquired = 0;
+  std::uint64_t nonp2_swaps = 0;
+};
+
+/// Aggregates a trace (any event order; events of irrelevant kinds are
+/// counted but otherwise ignored).
+RunReport build_report(const std::vector<TraceEvent>& events);
+
+/// Renders the report as aligned text tables (util::TablePrinter): event
+/// summary, phase timing, per-collective variance trajectory (sampled down
+/// to at most `max_trajectory_rows` rows per collective), and the
+/// batch-size histogram.
+void render_report(const RunReport& report, std::ostream& os, int max_trajectory_rows = 12);
+
+}  // namespace acclaim::telemetry

@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
+#include <mutex>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -12,7 +17,12 @@ namespace acclaim::util {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
 
-const char* level_name(LogLevel l) {
+// Sink replacement is rare (tests); emission takes the mutex only to read
+// the sink pointer consistently.
+std::mutex g_sink_mu;
+LogSink g_sink;  // empty = default stderr sink
+
+const char* level_tag(LogLevel l) {
   switch (l) {
     case LogLevel::Debug: return "DEBUG";
     case LogLevel::Info: return "INFO";
@@ -24,9 +34,24 @@ const char* level_name(LogLevel l) {
 }
 }  // namespace
 
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::ErrorLevel: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
 void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
+
+bool log_enabled(LogLevel level) {
+  return level != LogLevel::Off && level >= g_level.load(std::memory_order_relaxed);
+}
 
 LogLevel parse_log_level(const std::string& s) {
   std::string t = s;
@@ -40,12 +65,52 @@ LogLevel parse_log_level(const std::string& s) {
   throw InvalidArgument("unknown log level '" + s + "'");
 }
 
+LogLevel parse_log_level(const std::string& s, LogLevel fallback) noexcept {
+  try {
+    return parse_log_level(s);
+  } catch (const InvalidArgument&) {
+    return fallback;
+  }
+}
+
+LogSink set_log_sink(LogSink sink) {
+  std::lock_guard lock(g_sink_mu);
+  LogSink prev = std::move(g_sink);
+  g_sink = std::move(sink);
+  return prev;
+}
+
+std::string format_log_line(LogLevel level, const std::string& msg) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char stamp[96];  // roomy enough that -Wformat-truncation stays quiet
+  std::snprintf(stamp, sizeof stamp, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min,
+                tm.tm_sec, static_cast<int>(ms));
+  return std::string(stamp) + " [" + level_tag(level) + "] " + msg;
+}
+
 namespace detail {
 void emit(LogLevel level, const std::string& msg) {
-  if (level < g_level.load() || level == LogLevel::Off) {
+  if (!log_enabled(level)) {
     return;
   }
-  std::cerr << "[" << level_name(level) << "] " << msg << '\n';
+  LogSink sink;
+  {
+    std::lock_guard lock(g_sink_mu);
+    sink = g_sink;
+  }
+  if (sink) {
+    sink(level, msg);
+  } else {
+    std::cerr << format_log_line(level, msg) << '\n';
+  }
 }
 }  // namespace detail
 

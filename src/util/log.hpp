@@ -1,6 +1,13 @@
 // Leveled logging for the pipeline and benchmark harnesses.
+//
+// Emitted lines carry an ISO-8601 UTC timestamp and a level tag:
+//   2026-08-06T12:34:56.789Z [INFO] trained 120 points
+// By default lines go to stderr; tests (or embedders) can install a sink
+// with set_log_sink() to capture the raw message + level instead of
+// scraping stderr.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -8,12 +15,37 @@ namespace acclaim::util {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, ErrorLevel = 3, Off = 4 };
 
+/// Canonical lowercase name ("debug", ..., "error", "off").
+const char* log_level_name(LogLevel level);
+
 /// Global log threshold; messages below it are dropped.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// True when a message at `level` would currently be emitted (the check the
+/// AC_LOG_* macros use to skip message formatting entirely).
+bool log_enabled(LogLevel level);
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive). Throws
+/// InvalidArgument on anything else.
 LogLevel parse_log_level(const std::string& s);
+
+/// Lenient overload: returns `fallback` instead of throwing on unknown
+/// strings (for config paths that want best-effort parsing; the fallback
+/// must be explicit so silent defaulting never hides a typo).
+LogLevel parse_log_level(const std::string& s, LogLevel fallback) noexcept;
+
+/// Receives every emitted message (post level filtering) with its level and
+/// the *raw* message text (no timestamp/tag decoration).
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replaces the output sink; pass nullptr to restore the default stderr
+/// sink. Returns the previous sink (nullptr if the default was active).
+LogSink set_log_sink(LogSink sink);
+
+/// "<ISO-8601 UTC> [LEVEL] <msg>" — the decoration the default stderr sink
+/// applies; exposed so tests can verify the format.
+std::string format_log_line(LogLevel level, const std::string& msg);
 
 namespace detail {
 void emit(LogLevel level, const std::string& msg);
@@ -45,3 +77,19 @@ inline LogLine log_warn() { return LogLine(LogLevel::Warn); }
 inline LogLine log_error() { return LogLine(LogLevel::ErrorLevel); }
 
 }  // namespace acclaim::util
+
+/// Level-checked convenience macros: the stream arguments are not even
+/// evaluated when the level is filtered out, unlike the log_*() functions
+/// (which always build the stringstream). Also papers over the
+/// LogLevel::ErrorLevel spelling: AC_LOG_ERROR(), not log_errorlevel().
+///
+///   AC_LOG_INFO() << "trained " << n << " points";
+#define AC_LOG_AT(lvl)                     \
+  if (!::acclaim::util::log_enabled(lvl)) { \
+  } else                                    \
+    ::acclaim::util::LogLine(lvl)
+
+#define AC_LOG_DEBUG() AC_LOG_AT(::acclaim::util::LogLevel::Debug)
+#define AC_LOG_INFO() AC_LOG_AT(::acclaim::util::LogLevel::Info)
+#define AC_LOG_WARN() AC_LOG_AT(::acclaim::util::LogLevel::Warn)
+#define AC_LOG_ERROR() AC_LOG_AT(::acclaim::util::LogLevel::ErrorLevel)

@@ -6,6 +6,8 @@
 #include "core/heuristic.hpp"
 #include "core/pipeline.hpp"
 #include "platform/app_model.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/trace.hpp"
 #include "test_helpers.hpp"
 #include "util/error.hpp"
 
@@ -22,10 +24,19 @@ core::ActiveLearnerConfig fast_learner() {
   return cfg;
 }
 
+/// The pipeline run plus the telemetry trace it emitted — the run happens
+/// once, with the tracer's in-memory ring active, so the telemetry tests
+/// see exactly the events of the run the functional tests assert on.
+struct PipelineArtifacts {
+  core::PipelineResult result;
+  std::vector<telemetry::TraceEvent> trace;
+};
+
 class PipelineTest : public testing::Test {
  public:
-  static const core::PipelineResult& result() {
-    static const core::PipelineResult r = [] {
+  static const PipelineArtifacts& artifacts() {
+    static const PipelineArtifacts a = [] {
+      telemetry::tracer().enable_ring(1 << 16);
       core::AcclaimPipeline pipeline(testing_support::small_machine(), fast_learner());
       core::JobSpec spec;
       spec.collectives = {Collective::Bcast, Collective::Allreduce};
@@ -35,10 +46,15 @@ class PipelineTest : public testing::Test {
       spec.max_msg = 64 * 1024;
       spec.job_seed = 5;
       spec.machine_busy_fraction = 0.2;
-      return pipeline.run(spec);
+      PipelineArtifacts out{pipeline.run(spec), {}};
+      out.trace = telemetry::tracer().ring_snapshot();
+      telemetry::tracer().disable();
+      return out;
     }();
-    return r;
+    return a;
   }
+
+  static const core::PipelineResult& result() { return artifacts().result; }
 };
 
 TEST_F(PipelineTest, TrainsEveryRequestedCollective) {
@@ -105,6 +121,33 @@ TEST_F(PipelineTest, TunedEngineBeatsDefaultHeuristicOnThisJob) {
   }
   // And never meaningfully worse than the defaults.
   EXPECT_LT(tuned_total, heuristic_total + 0.08);
+}
+
+TEST_F(PipelineTest, EmitsTrainingIterationsForEveryCollective) {
+  const telemetry::RunReport report = telemetry::build_report(artifacts().trace);
+  // At least one training_iteration event per trained collective, with a
+  // variance trajectory the report can render.
+  ASSERT_EQ(report.trajectories.size(), 2u);
+  EXPECT_GE(report.trajectories.at("bcast").size(), 1u);
+  EXPECT_GE(report.trajectories.at("allreduce").size(), 1u);
+  EXPECT_GT(report.benchmark_runs, 0u);
+  EXPECT_GT(report.model_refits, 0u);
+  EXPECT_GT(report.points_acquired, 0u);
+}
+
+TEST_F(PipelineTest, PhaseSimTimesSumToTotalTraining) {
+  const telemetry::RunReport report = telemetry::build_report(artifacts().trace);
+  // One phase per collective; their simulated durations are exactly the
+  // per-collective training times, so the sum must match the pipeline's
+  // total (well inside the 5% acceptance bound).
+  ASSERT_EQ(report.phases.size(), 2u);
+  for (const auto& p : report.phases) {
+    EXPECT_TRUE(p.has_outcome) << p.label;
+    EXPECT_GT(p.sim_s, 0.0) << p.label;
+    EXPECT_GE(p.wall_ms, 0.0) << p.label;
+  }
+  const double total = result().total_training_s;
+  EXPECT_NEAR(report.total_sim_s, total, 0.05 * total);
 }
 
 TEST(Pipeline, RejectsBadJobSpecs) {

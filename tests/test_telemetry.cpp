@@ -1,0 +1,349 @@
+// Telemetry subsystem: metrics registry arithmetic, histogram bucketing,
+// trace ring/stream round-trips, and run-report building/rendering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/trace.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace acclaim;
+using telemetry::EventKind;
+using telemetry::TraceEvent;
+
+// The registry and tracer are process-wide; every test starts from a clean
+// slate so ordering (and the other suites linked into this binary) cannot
+// leak values across cases.
+class TelemetryTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::tracer().disable();
+    telemetry::metrics().reset();
+  }
+  void TearDown() override { telemetry::tracer().disable(); }
+};
+
+std::string temp_path(const std::string& name) { return testing::TempDir() + name; }
+
+TEST_F(TelemetryTest, CounterArithmeticAndReset) {
+  telemetry::Counter& c = telemetry::metrics().counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name resolves to the same instrument, and reset() keeps the
+  // address valid (call sites cache static references).
+  telemetry::Counter& again = telemetry::metrics().counter("test.counter");
+  EXPECT_EQ(&again, &c);
+  telemetry::metrics().reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(7);
+  EXPECT_EQ(again.value(), 7u);
+}
+
+TEST_F(TelemetryTest, GaugeSetAndAccumulate) {
+  telemetry::Gauge& g = telemetry::metrics().gauge("test.gauge");
+  g.set(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.add(0.25);
+  g.add(0.25);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST_F(TelemetryTest, HistogramBucketEdges) {
+  // first_bound = 1.0 keeps every bound exactly representable, so the edge
+  // assertions below are fp-exact: bounds 1, 2, 4 plus an overflow bucket.
+  telemetry::Histogram h({1.0, 3});
+  EXPECT_EQ(h.num_buckets(), 4);
+  EXPECT_DOUBLE_EQ(h.bucket_bound(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_bound(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_bound(2), 4.0);
+  EXPECT_THROW(h.bucket_bound(3), Error);  // overflow bucket has no bound
+
+  h.observe(0.5);  // below the first bound
+  h.observe(1.0);  // exactly on it -> still bucket 0
+  h.observe(1.5);
+  h.observe(2.0);  // bounds are inclusive
+  h.observe(3.0);
+  h.observe(4.0);
+  h.observe(5.0);    // beyond the last finite bound
+  h.observe(1e12);   // deep overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(3), 2u);
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1e12);
+}
+
+TEST_F(TelemetryTest, HistogramStatsAndReset) {
+  telemetry::Histogram h({1.0, 8});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), std::numeric_limits<double>::infinity());
+  h.observe(2.0);
+  h.observe(6.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 8.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  for (int i = 0; i < h.num_buckets(); ++i) {
+    EXPECT_EQ(h.bucket_count(i), 0u);
+  }
+}
+
+TEST_F(TelemetryTest, RegistryJsonRoundTrip) {
+  telemetry::MetricsRegistry& reg = telemetry::metrics();
+  reg.counter("rt.runs").add(3);
+  reg.gauge("rt.level").set(2.5);
+  reg.histogram("rt.sizes", {1.0, 8}).observe(4.0);
+
+  const std::string path = temp_path("metrics_rt.json");
+  reg.dump_file(path);
+  const util::Json doc = util::Json::parse_file(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(doc.at("counters").at("rt.runs").as_int(), 3);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("rt.level").as_number(), 2.5);
+  const util::Json& hist = doc.at("histograms").at("rt.sizes");
+  EXPECT_EQ(hist.at("count").as_int(), 1);
+  EXPECT_DOUBLE_EQ(hist.at("min").as_number(), 4.0);
+  // One occupied bucket survives the empty-bucket elision.
+  ASSERT_EQ(hist.at("buckets").as_array().size(), 1u);
+  EXPECT_DOUBLE_EQ(hist.at("buckets").as_array()[0].at("le").as_number(), 4.0);
+}
+
+TEST_F(TelemetryTest, EventKindNamesRoundTrip) {
+  for (EventKind k : {EventKind::TrainingIteration, EventKind::PointAcquired,
+                      EventKind::BatchScheduled, EventKind::BenchmarkRun,
+                      EventKind::ModelRefit, EventKind::ConvergenceCheck, EventKind::Phase}) {
+    const auto parsed = telemetry::parse_event_kind(telemetry::event_kind_name(k));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(telemetry::parse_event_kind("not_an_event").has_value());
+}
+
+TEST_F(TelemetryTest, TraceEventJsonRoundTrip) {
+  TraceEvent ev;
+  ev.kind = EventKind::PointAcquired;
+  ev.label = "bcast";
+  ev.t_wall_ms = 12.5;
+  ev.fields["nnodes"] = 8;
+  ev.fields["algorithm"] = "binomial";
+  ev.fields["nonp2"] = true;
+
+  const TraceEvent back = TraceEvent::from_json(ev.to_json());
+  EXPECT_EQ(back.kind, EventKind::PointAcquired);
+  EXPECT_EQ(back.label, "bcast");
+  EXPECT_DOUBLE_EQ(back.t_wall_ms, 12.5);
+  EXPECT_EQ(back.fields.at("nnodes").as_int(), 8);
+  EXPECT_EQ(back.fields.at("algorithm").as_string(), "binomial");
+  EXPECT_TRUE(back.fields.at("nonp2").as_bool());
+}
+
+TEST_F(TelemetryTest, RingKeepsNewestEventsOldestFirst) {
+  telemetry::Tracer& tr = telemetry::tracer();
+  EXPECT_FALSE(tr.enabled());
+  tr.enable_ring(4);
+  EXPECT_TRUE(tr.enabled());
+  for (int i = 0; i < 6; ++i) {
+    TraceEvent ev;
+    ev.kind = EventKind::ModelRefit;
+    ev.label = "ev" + std::to_string(i);
+    tr.record(std::move(ev));
+  }
+  const auto snap = tr.ring_snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.front().label, "ev2");
+  EXPECT_EQ(snap.back().label, "ev5");
+  EXPECT_EQ(tr.ring_dropped(), 2u);
+  EXPECT_EQ(tr.recorded(), 6u);
+  tr.disable();
+  EXPECT_FALSE(tr.enabled());
+  EXPECT_TRUE(tr.ring_snapshot().empty());
+}
+
+TEST_F(TelemetryTest, StreamWritesJsonLinesReadableByReader) {
+  const std::string path = temp_path("trace_rt.jsonl");
+  telemetry::Tracer& tr = telemetry::tracer();
+  tr.open_stream(path);
+  for (int i = 0; i < 3; ++i) {
+    TraceEvent ev;
+    ev.kind = EventKind::BenchmarkRun;
+    ev.label = "allreduce";
+    ev.fields["cost_s"] = 0.5 * (i + 1);
+    tr.record(std::move(ev));
+  }
+  tr.close_stream();
+
+  const auto events = telemetry::read_trace_file(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(events.size(), 3u);
+  for (const TraceEvent& ev : events) {
+    EXPECT_EQ(ev.kind, EventKind::BenchmarkRun);
+    EXPECT_EQ(ev.label, "allreduce");
+  }
+  EXPECT_DOUBLE_EQ(events[2].fields.at("cost_s").as_number(), 1.5);
+}
+
+TEST_F(TelemetryTest, ReaderSkipsBlankLinesAndUnknownKinds) {
+  const std::string path = temp_path("trace_fwd.jsonl");
+  {
+    std::ofstream out(path);
+    out << R"({"event":"model_refit","t_ms":1.0,"label":"bcast"})" << "\n\n"
+        << R"({"event":"from_the_future","t_ms":2.0,"label":"x"})" << "\n";
+  }
+  const auto events = telemetry::read_trace_file(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, EventKind::ModelRefit);
+  EXPECT_THROW(telemetry::read_trace_file(temp_path("no_such_trace.jsonl")), IoError);
+}
+
+TEST_F(TelemetryTest, ScopedPhaseEmitsWallTimeAndAnnotations) {
+  telemetry::Tracer& tr = telemetry::tracer();
+  tr.enable_ring(16);
+  {
+    telemetry::ScopedPhase phase("train:bcast");
+    EXPECT_TRUE(phase.active());
+    phase.annotate("sim_s", 12.5);
+    phase.annotate("points", 40);
+  }
+  const auto snap = tr.ring_snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].kind, EventKind::Phase);
+  EXPECT_EQ(snap[0].label, "train:bcast");
+  EXPECT_TRUE(snap[0].fields.contains("wall_ms"));
+  EXPECT_GE(snap[0].fields.at("wall_ms").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(snap[0].fields.at("sim_s").as_number(), 12.5);
+  EXPECT_EQ(snap[0].fields.at("points").as_int(), 40);
+}
+
+TEST_F(TelemetryTest, ScopedPhaseIsInertWhenTracerDisabled) {
+  telemetry::ScopedPhase phase("idle");
+  EXPECT_FALSE(phase.active());
+  phase.annotate("sim_s", 1.0);  // must not crash
+  EXPECT_EQ(telemetry::tracer().recorded(), 0u);
+}
+
+// --- run reports on a synthetic trace ------------------------------------
+
+TraceEvent make_event(EventKind kind, std::string label) {
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.label = std::move(label);
+  return ev;
+}
+
+std::vector<TraceEvent> synthetic_trace() {
+  std::vector<TraceEvent> events;
+  for (int i = 0; i < 5; ++i) {
+    TraceEvent it = make_event(EventKind::TrainingIteration, "bcast");
+    it.fields["iteration"] = i;
+    it.fields["points"] = 4 * (i + 1);
+    it.fields["variance"] = 1.0 / (i + 1);
+    it.fields["variance_ema"] = 0.8 / (i + 1);
+    it.fields["batch_size"] = 4;
+    events.push_back(std::move(it));
+  }
+  for (int size : {4, 4, 2}) {
+    TraceEvent b = make_event(EventKind::BatchScheduled, "bcast");
+    b.fields["batch_size"] = size;
+    events.push_back(std::move(b));
+  }
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent r = make_event(EventKind::BenchmarkRun, "bcast");
+    r.fields["cost_s"] = 0.1;
+    events.push_back(std::move(r));
+  }
+  events.push_back(make_event(EventKind::ModelRefit, "bcast"));
+  events.push_back(make_event(EventKind::ModelRefit, "bcast"));
+  TraceEvent pick = make_event(EventKind::PointAcquired, "bcast");
+  pick.fields["nonp2"] = true;
+  events.push_back(std::move(pick));
+  TraceEvent phase = make_event(EventKind::Phase, "train:bcast");
+  phase.fields["sim_s"] = 30.0;
+  phase.fields["wall_ms"] = 12.0;
+  phase.fields["points"] = 20;
+  phase.fields["iterations"] = 5;
+  phase.fields["converged"] = true;
+  events.push_back(std::move(phase));
+  return events;
+}
+
+TEST_F(TelemetryTest, BuildReportAggregatesTheTrace) {
+  const telemetry::RunReport report = telemetry::build_report(synthetic_trace());
+  EXPECT_EQ(report.benchmark_runs, 10u);
+  EXPECT_NEAR(report.benchmark_sim_cost_s, 1.0, 1e-9);
+  EXPECT_EQ(report.model_refits, 2u);
+  EXPECT_EQ(report.points_acquired, 1u);
+  EXPECT_EQ(report.nonp2_swaps, 1u);
+  ASSERT_EQ(report.phases.size(), 1u);
+  EXPECT_EQ(report.phases[0].label, "train:bcast");
+  EXPECT_DOUBLE_EQ(report.phases[0].sim_s, 30.0);
+  EXPECT_TRUE(report.phases[0].has_outcome);
+  EXPECT_TRUE(report.phases[0].converged);
+  EXPECT_DOUBLE_EQ(report.total_sim_s, 30.0);
+  ASSERT_EQ(report.trajectories.count("bcast"), 1u);
+  const auto& traj = report.trajectories.at("bcast");
+  ASSERT_EQ(traj.size(), 5u);
+  EXPECT_EQ(traj.front().iteration, 0);
+  EXPECT_EQ(traj.back().points, 20u);
+  EXPECT_EQ(report.batch_histogram.at(4), 2u);
+  EXPECT_EQ(report.batch_histogram.at(2), 1u);
+  EXPECT_EQ(report.event_counts.at("training_iteration"), 5u);
+}
+
+TEST_F(TelemetryTest, RenderReportShowsEverySection) {
+  const telemetry::RunReport report = telemetry::build_report(synthetic_trace());
+  std::ostringstream os;
+  telemetry::render_report(report, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("run summary"), std::string::npos);
+  EXPECT_NE(text.find("phase timing"), std::string::npos);
+  EXPECT_NE(text.find("train:bcast"), std::string::npos);
+  EXPECT_NE(text.find("variance trajectory: bcast"), std::string::npos);
+  EXPECT_NE(text.find("scheduler batch occupancy"), std::string::npos);
+  EXPECT_NE(text.find("total simulated training"), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);  // occupancy bars
+}
+
+TEST_F(TelemetryTest, RenderSamplesLongTrajectoriesKeepingEndpoints) {
+  std::vector<TraceEvent> events;
+  for (int i = 0; i < 100; ++i) {
+    TraceEvent it = make_event(EventKind::TrainingIteration, "reduce");
+    it.fields["iteration"] = i;
+    it.fields["points"] = i + 1;
+    it.fields["variance"] = 1.0;
+    it.fields["variance_ema"] = 1.0;
+    events.push_back(std::move(it));
+  }
+  std::ostringstream os;
+  telemetry::render_report(telemetry::build_report(events), os, 5);
+  const std::string text = os.str();
+  // First and last iterations must survive the down-sampling (table rows
+  // are indented two spaces).
+  EXPECT_NE(text.find("\n  0 "), std::string::npos);
+  EXPECT_NE(text.find("\n  99 "), std::string::npos);
+  // Strictly fewer rows than iterations: count newlines in the trajectory
+  // table region as a proxy.
+  EXPECT_LT(std::count(text.begin(), text.end(), '\n'), 20);
+}
+
+}  // namespace

@@ -5,9 +5,13 @@
 #include <filesystem>
 #include <set>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -16,6 +20,7 @@
 namespace {
 
 using namespace acclaim::util;
+namespace util = acclaim::util;
 
 TEST(Rng, Deterministic) {
   Rng a(42), b(42);
@@ -238,6 +243,83 @@ TEST(Error, RequireThrowsWithMessage) {
     FAIL() << "expected throw";
   } catch (const acclaim::InvalidArgument& e) {
     EXPECT_NE(std::string(e.what()).find("precondition X"), std::string::npos);
+  }
+}
+
+/// Captures raw messages via set_log_sink and restores the previous sink
+/// and level on destruction, so log tests cannot leak state.
+class LogCapture {
+ public:
+  LogCapture()
+      : prev_level_(util::log_level()), prev_sink_(util::set_log_sink(
+            [this](util::LogLevel level, const std::string& msg) {
+              lines_.emplace_back(level, msg);
+            })) {}
+  ~LogCapture() {
+    util::set_log_sink(prev_sink_);
+    util::set_log_level(prev_level_);
+  }
+  const std::vector<std::pair<util::LogLevel, std::string>>& lines() const { return lines_; }
+
+ private:
+  util::LogLevel prev_level_;
+  util::LogSink prev_sink_;
+  std::vector<std::pair<util::LogLevel, std::string>> lines_;
+};
+
+TEST(Log, SinkReceivesRawMessagesAboveThreshold) {
+  LogCapture capture;
+  util::set_log_level(util::LogLevel::Info);
+  util::log_debug() << "filtered out";
+  util::log_info() << "kept " << 42;
+  util::log_warn() << "also kept";
+  ASSERT_EQ(capture.lines().size(), 2u);
+  EXPECT_EQ(capture.lines()[0].first, util::LogLevel::Info);
+  EXPECT_EQ(capture.lines()[0].second, "kept 42");
+  EXPECT_EQ(capture.lines()[1].first, util::LogLevel::Warn);
+}
+
+TEST(Log, MacrosSkipArgumentEvaluationWhenFiltered) {
+  LogCapture capture;
+  util::set_log_level(util::LogLevel::Warn);
+  int evaluations = 0;
+  const auto touch = [&evaluations] { return ++evaluations; };
+  AC_LOG_DEBUG() << "never " << touch();
+  AC_LOG_INFO() << "never " << touch();
+  AC_LOG_ERROR() << "emitted " << touch();
+  EXPECT_EQ(evaluations, 1);
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_EQ(capture.lines()[0].second, "emitted 1");
+}
+
+TEST(Log, FormatLineIsIso8601WithLevelTag) {
+  const std::string line = util::format_log_line(util::LogLevel::Warn, "msg body");
+  // 2026-08-06T12:34:56.789Z [WARN] msg body
+  ASSERT_GE(line.size(), 24u);
+  EXPECT_EQ(line[4], '-');
+  EXPECT_EQ(line[7], '-');
+  EXPECT_EQ(line[10], 'T');
+  EXPECT_EQ(line[13], ':');
+  EXPECT_EQ(line[16], ':');
+  EXPECT_EQ(line[19], '.');
+  EXPECT_EQ(line[23], 'Z');
+  EXPECT_NE(line.find("[WARN] msg body"), std::string::npos);
+}
+
+TEST(Log, ParseLevelStrictAndLenient) {
+  EXPECT_EQ(util::parse_log_level("debug"), util::LogLevel::Debug);
+  EXPECT_EQ(util::parse_log_level("WARN"), util::LogLevel::Warn);
+  EXPECT_EQ(util::parse_log_level("Error"), util::LogLevel::ErrorLevel);
+  EXPECT_THROW(util::parse_log_level("loud"), acclaim::InvalidArgument);
+  EXPECT_EQ(util::parse_log_level("loud", util::LogLevel::Info), util::LogLevel::Info);
+  EXPECT_EQ(util::parse_log_level("off", util::LogLevel::Info), util::LogLevel::Off);
+}
+
+TEST(Log, LevelNamesRoundTrip) {
+  for (util::LogLevel level : {util::LogLevel::Debug, util::LogLevel::Info,
+                               util::LogLevel::Warn, util::LogLevel::ErrorLevel,
+                               util::LogLevel::Off}) {
+    EXPECT_EQ(util::parse_log_level(util::log_level_name(level)), level);
   }
 }
 

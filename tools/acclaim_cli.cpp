@@ -11,6 +11,7 @@
 //   select     --rules FILE --collective C --nodes N --ppn P --msg SIZE
 //              resolve one scenario through a generated rule file
 //   inspect    --dataset FILE           dataset summary (per collective)
+//   report     TRACE.jsonl              render a run report from a telemetry trace
 //   breakeven  --training SECONDS --speedup S
 //              minimum application runtime that amortizes training (Fig. 15)
 #include <iostream>
@@ -26,6 +27,9 @@
 #include "core/heuristic.hpp"
 #include "core/pipeline.hpp"
 #include "platform/app_model.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -107,7 +111,29 @@ int cmd_collect(const cli::Args& args) {
   return 0;
 }
 
+// Shared --trace-out / --metrics-out handling for the training commands.
+// open_telemetry must run before any instrumented work; finish_telemetry
+// flushes the metrics snapshot and closes the trace stream afterwards.
+void open_telemetry(const cli::Args& args) {
+  if (args.has("trace-out")) {
+    telemetry::tracer().open_stream(args.get("trace-out"));
+  }
+}
+
+void finish_telemetry(const cli::Args& args) {
+  if (args.has("metrics-out")) {
+    const std::string path = args.get("metrics-out");
+    telemetry::metrics().dump_file(path);
+    std::cout << "wrote metrics to " << path << "\n";
+  }
+  if (args.has("trace-out")) {
+    telemetry::tracer().close_stream();
+    std::cout << "wrote trace to " << args.get("trace-out") << "\n";
+  }
+}
+
 int cmd_train(const cli::Args& args) {
+  open_telemetry(args);
   const bench::Dataset ds = bench::Dataset::load(args.require_flag("dataset"));
   const coll::Collective c = coll::parse_collective(args.get("collective", "bcast"));
   // Recover the P2 axes from the dataset itself.
@@ -156,10 +182,12 @@ int cmd_train(const cli::Args& args) {
     core::rules_to_json({table}).dump_file(args.get("rules"));
     std::cout << "wrote rules to " << args.get("rules") << "\n";
   }
+  finish_telemetry(args);
   return 0;
 }
 
 int cmd_tune_job(const cli::Args& args) {
+  open_telemetry(args);
   core::JobSpec spec;
   spec.nnodes = args.get_int("nodes", 32);
   spec.ppn = args.get_int("ppn", 16);
@@ -182,6 +210,19 @@ int cmd_tune_job(const cli::Args& args) {
   const std::string out = args.get("rules", "acclaim_tuning.json");
   result.config.dump_file(out);
   std::cout << "wrote " << out << "\n";
+  finish_telemetry(args);
+  return 0;
+}
+
+int cmd_report(const cli::Args& args) {
+  const std::string path = args.require_flag("trace");
+  const auto events = telemetry::read_trace_file(path);
+  if (events.empty()) {
+    std::cerr << "trace " << path << " holds no recognizable events\n";
+    return 1;
+  }
+  const telemetry::RunReport report = telemetry::build_report(events);
+  telemetry::render_report(report, std::cout, args.get_int("rows", 12));
   return 0;
 }
 
@@ -255,9 +296,13 @@ commands:
   train         active-learning training from a dataset
                   --dataset FILE [--collective C] [--model OUT] [--rules OUT]
                   [--trees N] [--max-points N] [--seed K]
+                  [--trace-out FILE.jsonl] [--metrics-out FILE.json]
   tune-job      full pipeline on a simulated job (train + rule file)
                   [--machine theta] [--nodes N] [--ppn P] [--collectives a,b]
                   [--rules OUT] [--max-points N] [--seed K]
+                  [--trace-out FILE.jsonl] [--metrics-out FILE.json]
+  report        render a run report from a trace file
+                  TRACE.jsonl | --trace FILE [--rows N]
   select        resolve a scenario through a rule file
                   --rules FILE --collective C [--nodes N] [--ppn P] [--msg SIZE]
   inspect       summarize a dataset CSV
@@ -285,14 +330,40 @@ int main(int argc, char** argv) {
                                     "max-msg", "out", "nonp2", "seed"}));
     }
     if (cmd == "train") {
-      return cmd_train(cli::Args(
-          argc - 2, argv + 2,
-          {"dataset", "collective", "model", "rules", "trees", "max-points", "seed"}));
+      return cmd_train(cli::Args(argc - 2, argv + 2,
+                                 {"dataset", "collective", "model", "rules", "trees",
+                                  "max-points", "seed", "trace-out", "metrics-out"}));
     }
     if (cmd == "tune-job") {
       return cmd_tune_job(cli::Args(argc - 2, argv + 2,
                                     {"machine", "nodes", "ppn", "collectives", "min-msg",
-                                     "max-msg", "rules", "trees", "max-points", "seed"}));
+                                     "max-msg", "rules", "trees", "max-points", "seed",
+                                     "trace-out", "metrics-out"}));
+    }
+    if (cmd == "report") {
+      // Accept the trace path positionally (`acclaim report t.jsonl`) or
+      // via --trace; remaining arguments stay ordinary flags.
+      std::vector<char*> rest(argv + 2, argv + argc);
+      std::string positional;
+      if (!rest.empty() && rest.front()[0] != '-') {
+        positional = rest.front();
+        rest.erase(rest.begin());
+      }
+      cli::Args args(static_cast<int>(rest.size()), rest.data(), {"trace", "rows"});
+      if (!positional.empty() && args.has("trace")) {
+        throw InvalidArgument("report takes either a positional trace path or --trace, not both");
+      }
+      if (!positional.empty()) {
+        std::vector<char*> fwd;
+        std::string trace_flag = "--trace";
+        fwd.push_back(trace_flag.data());
+        fwd.push_back(positional.data());
+        for (char* a : rest) {
+          fwd.push_back(a);
+        }
+        args = cli::Args(static_cast<int>(fwd.size()), fwd.data(), {"trace", "rows"});
+      }
+      return cmd_report(args);
     }
     if (cmd == "select") {
       return cmd_select(

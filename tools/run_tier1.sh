@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full ctest suite.
+#
+# usage: tools/run_tier1.sh [--sanitize LIST] [--build-dir DIR] [--jobs N]
+#   --sanitize LIST   comma-separated sanitizers, e.g. address,undefined
+#                     (forwarded as -DACCLAIM_SANITIZE=LIST)
+#   --build-dir DIR   build tree location (default: build, or build-san when
+#                     sanitizers are on, so the two configurations coexist)
+#   --jobs N          parallel build/test jobs (default: nproc)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+sanitize=""
+build_dir=""
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --sanitize) sanitize="$2"; shift 2 ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --jobs) jobs="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+if [[ -z "$build_dir" ]]; then
+  build_dir="build"
+  [[ -n "$sanitize" ]] && build_dir="build-san"
+fi
+
+cmake_flags=()
+[[ -n "$sanitize" ]] && cmake_flags+=("-DACCLAIM_SANITIZE=${sanitize}")
+
+cmake -B "$repo_root/$build_dir" -S "$repo_root" "${cmake_flags[@]}"
+cmake --build "$repo_root/$build_dir" -j "$jobs"
+ctest --test-dir "$repo_root/$build_dir" --output-on-failure -j "$jobs"
