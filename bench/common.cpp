@@ -6,9 +6,12 @@
 #include <filesystem>
 #include <iostream>
 
+#include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
+#include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 #ifndef ACCLAIM_DATA_DIR
 #define ACCLAIM_DATA_DIR "data"
@@ -154,6 +157,40 @@ void banner(const std::string& figure, const std::string& claim) {
             << figure << "\n"
             << claim << "\n"
             << "==============================================================\n";
+}
+
+BenchEnv::BenchEnv(int& argc, char** argv) {
+  int threads = 0;
+  int out = 1;  // argv[0] always survives
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--threads" && has_value) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg == "--metrics-out" && has_value) {
+      metrics_out_ = argv[++i];
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (threads > 0) {
+    util::set_global_threads(threads);
+  }
+  std::cerr << "[bench] compute threads: " << util::global_threads() << "\n";
+}
+
+BenchEnv::~BenchEnv() {
+  if (metrics_out_.empty()) {
+    return;
+  }
+  telemetry::publish_thread_pool_metrics();
+  try {
+    telemetry::metrics().dump_file(metrics_out_);
+    std::cerr << "[telemetry] wrote metrics to " << metrics_out_ << "\n";
+  } catch (const Error& e) {
+    std::cerr << "[telemetry] failed to write " << metrics_out_ << ": " << e.what() << "\n";
+  }
 }
 
 }  // namespace acclaim::benchharness

@@ -70,4 +70,23 @@ double converge_time_s(const std::vector<SweepRow>& rows, double threshold = kCo
 /// Prints the standard figure banner.
 void banner(const std::string& figure, const std::string& claim);
 
+/// Shared bench flags, parsed first thing in every figure main:
+///   --threads N         size the global compute pool (default: hardware,
+///                       or the ACCLAIM_THREADS environment variable)
+///   --metrics-out FILE  write a metrics-registry JSON snapshot on exit
+///                       (render with `acclaim report --metrics FILE`)
+/// Recognized flags (and their values) are consumed from argc/argv so
+/// figure-specific positional arguments (--ablation, --naive) keep working.
+/// The destructor publishes thread-pool stats and writes the snapshot.
+class BenchEnv {
+ public:
+  BenchEnv(int& argc, char** argv);
+  ~BenchEnv();
+  BenchEnv(const BenchEnv&) = delete;
+  BenchEnv& operator=(const BenchEnv&) = delete;
+
+ private:
+  std::string metrics_out_;
+};
+
 }  // namespace acclaim::benchharness

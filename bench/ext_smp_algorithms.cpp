@@ -36,7 +36,8 @@ double cost_us(coll::Algorithm alg, const simnet::NetworkModel& net,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchharness::BenchEnv bench_env(argc, argv);
   benchharness::banner("Extension: SMP-aware hierarchical algorithms vs flat family",
                        "Expectation: leader-based inter-node phases win at high ppn");
 

@@ -11,7 +11,8 @@ using namespace acclaim;
 using benchharness::bebop_dataset;
 using benchharness::bebop_space;
 
-int main() {
+int main(int argc, char** argv) {
+  benchharness::BenchEnv bench_env(argc, argv);
   benchharness::banner(
       "Fig. 3: Hunold et al. vs FACT (average slowdown vs % of training points)",
       "Expectation: FACT stays under 1.03 with far less data than Hunold");

@@ -11,7 +11,8 @@
 
 using namespace acclaim;
 
-int main() {
+int main(int argc, char** argv) {
+  benchharness::BenchEnv bench_env(argc, argv);
   benchharness::banner("Fig. 4: non-power-of-two message sizes in application traces",
                        "Expectation: ~15.7% non-P2 overall, scale-independent per app");
 

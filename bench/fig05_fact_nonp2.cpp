@@ -10,7 +10,8 @@
 using namespace acclaim;
 using benchharness::bebop_dataset;
 
-int main() {
+int main(int argc, char** argv) {
+  benchharness::BenchEnv bench_env(argc, argv);
   benchharness::banner("Fig. 5: FACT (P2-trained) on non-P2 test sets for MPI_Bcast",
                        "Expectation: all-P2 near-optimal > non-P2 nodes > non-P2 msg sizes");
 

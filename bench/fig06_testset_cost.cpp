@@ -10,7 +10,8 @@
 using namespace acclaim;
 using benchharness::bebop_dataset;
 
-int main() {
+int main(int argc, char** argv) {
+  benchharness::BenchEnv bench_env(argc, argv);
   benchharness::banner("Fig. 6: test-set vs training-set collection time (normalized)",
                        "Expectation: the 20% test set costs several times the training set");
 

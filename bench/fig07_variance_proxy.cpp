@@ -12,7 +12,8 @@
 using namespace acclaim;
 using benchharness::bebop_dataset;
 
-int main() {
+int main(int argc, char** argv) {
+  benchharness::BenchEnv bench_env(argc, argv);
   benchharness::banner("Fig. 7: cumulative variance vs average slowdown over training time",
                        "Expectation: the two series trend downward together (positive correlation)");
 

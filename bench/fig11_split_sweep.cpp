@@ -52,7 +52,8 @@ double mean_slowdown(const std::vector<benchharness::SweepRow>& rows, std::size_
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchharness::BenchEnv bench_env(argc, argv);
   benchharness::banner(
       "Fig. 11: P2 vs non-P2 training split for MPI_Bcast",
       "Expectation: 80-20 keeps P2 performance while fixing non-P2; 50-50 hurts P2");

@@ -14,7 +14,8 @@
 using namespace acclaim;
 using benchharness::bebop_dataset;
 
-int main() {
+int main(int argc, char** argv) {
+  benchharness::BenchEnv bench_env(argc, argv);
   benchharness::banner("Fig. 12: variance convergence vs slowdown convergence",
                        "Expectation: variance stops near the slowdown point with low final slowdown");
 

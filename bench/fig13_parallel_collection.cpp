@@ -88,6 +88,7 @@ Replay replay(const std::vector<bench::BenchmarkPoint>& points, const simnet::To
 }  // namespace
 
 int main(int argc, char** argv) {
+  benchharness::BenchEnv bench_env(argc, argv);
   const bool naive = argc > 1 && std::strcmp(argv[1], "--naive") == 0;
   benchharness::banner(
       "Fig. 13: parallel data collection across placement topologies",

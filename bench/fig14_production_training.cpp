@@ -2,16 +2,25 @@
 // Theta, for jobs up to 128 nodes (16 ppn, <= 1 MiB messages), training
 // converges in minutes — versus the many hours the previous state of the
 // art was estimated to need — achieving production practicality.
+//
+// The `total` column is the simulated collection clock (the paper's
+// quantity); `host wall` is this process's model-construction time, the
+// part `--threads N` parallelizes (forest fits + jackknife sweeps).
+// Compare `--threads 1` against `--threads 8` for the training-phase
+// speedup; the trained models are bitwise-identical either way.
+#include <chrono>
 #include <iostream>
 
 #include "common.hpp"
 #include "core/pipeline.hpp"
 #include "util/csv.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 using namespace acclaim;
 
-int main() {
+int main(int argc, char** argv) {
+  benchharness::BenchEnv bench_env(argc, argv);
   benchharness::banner("Fig. 14: ACCLAiM training time up to 128 nodes (Theta-like machine)",
                        "Expectation: minutes per job, growing modestly with job size");
 
@@ -21,9 +30,12 @@ int main() {
   const core::AcclaimPipeline pipeline(simnet::theta_like(), learner);
 
   util::TablePrinter table({"job size (nodes)", "allgather", "allreduce", "bcast", "reduce",
-                            "total", "max batch"});
+                            "total", "host wall", "max batch"});
+  // The CSV keeps only the simulated series: it is committed under
+  // results/ and must stay deterministic, which host wall time is not.
   util::CsvWriter csv(benchharness::results_path("fig14"));
   csv.header({"nnodes", "allgather_s", "allreduce_s", "bcast_s", "reduce_s", "total_s"});
+  double wall_total_s = 0.0;
   for (int nodes : {16, 32, 64, 128}) {
     core::JobSpec spec;
     spec.collectives = coll::paper_collectives();
@@ -32,7 +44,11 @@ int main() {
     spec.min_msg = 8;
     spec.max_msg = 1 << 20;
     spec.job_seed = 40 + static_cast<std::uint64_t>(nodes);
+    const auto wall_start = std::chrono::steady_clock::now();
     const core::PipelineResult result = pipeline.run(spec);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+    wall_total_s += wall_s;
 
     std::vector<std::string> row = {std::to_string(nodes)};
     std::vector<double> csv_row = {static_cast<double>(nodes)};
@@ -43,14 +59,18 @@ int main() {
       max_batch = std::max(max_batch, t.max_batch);
     }
     row.push_back(util::format_seconds(result.total_training_s));
+    row.push_back(util::format_seconds(wall_s));
     row.push_back(std::to_string(max_batch));
     csv_row.push_back(result.total_training_s);
     table.add_row(row);
     csv.row_numeric(csv_row);
     std::cout << "  " << nodes << "-node job trained ("
-              << util::format_seconds(result.total_training_s) << " simulated)\n";
+              << util::format_seconds(result.total_training_s) << " simulated, "
+              << util::format_seconds(wall_s) << " host wall)\n";
   }
   table.print(std::cout);
-  std::cout << "\n(paper: a matter of minutes at 128 nodes; prior art estimated ~24 hours)\n";
+  std::cout << "\ntraining-phase host wall total: " << util::format_seconds(wall_total_s)
+            << " at " << util::global_threads() << " thread(s)\n"
+            << "(paper: a matter of minutes at 128 nodes; prior art estimated ~24 hours)\n";
   return 0;
 }

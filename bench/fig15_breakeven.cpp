@@ -64,7 +64,8 @@ std::pair<double, double> training_band() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchharness::BenchEnv bench_env(argc, argv);
   benchharness::banner("Fig. 15: minimum application runtime for overall acceleration",
                        "Expectation: ~1.01x speedup needs a few hours; >=1.05x well under an hour");
 

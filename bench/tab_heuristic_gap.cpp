@@ -12,7 +12,8 @@
 using namespace acclaim;
 using benchharness::bebop_dataset;
 
-int main() {
+int main(int argc, char** argv) {
+  benchharness::BenchEnv bench_env(argc, argv);
   benchharness::banner("Motivating gap: MPICH-default heuristic vs oracle vs ACCLAiM",
                        "Expectation: defaults leave tens of percent on the table; ACCLAiM ~1.0x");
 

@@ -26,35 +26,38 @@ AcquisitionPolicy::Pick RandomAcquisition::next(const CollectiveModel&,
 
 namespace {
 
-/// Shared variance-to-pick logic for both variance-guided policies.
+/// Shared variance-to-pick logic for both variance-guided policies. The
+/// candidate sweep (one forest query per pool entry) runs on the global
+/// thread pool; the pick itself — argmax scan or the single weighted draw —
+/// stays sequential over the in-order variance vector, so the chosen index
+/// and the rng stream are independent of the thread count.
 std::size_t pick_by_variance(const CollectiveModel& model,
                              const std::vector<bench::BenchmarkPoint>& pool, VariancePick mode,
                              util::Rng& rng) {
+  const std::vector<double> var = model.jackknife_variances(pool);
   if (mode == VariancePick::Argmax) {
     std::size_t best = 0;
     double best_var = -1.0;
-    for (std::size_t i = 0; i < pool.size(); ++i) {
-      const double v = model.jackknife_variance(pool[i]);
-      if (v > best_var) {
-        best_var = v;
+    for (std::size_t i = 0; i < var.size(); ++i) {
+      if (var[i] > best_var) {
+        best_var = var[i];
         best = i;
       }
     }
     return best;
   }
   // Weighted sampling: probability proportional to jackknife variance.
-  std::vector<double> w(pool.size());
   double total = 0.0;
-  for (std::size_t i = 0; i < pool.size(); ++i) {
-    w[i] = model.jackknife_variance(pool[i]) + 1e-12;
-    total += w[i];
+  for (double v : var) {
+    total += v + 1e-12;
   }
   double pick = rng.uniform(0.0, total);
-  for (std::size_t i = 0; i < pool.size(); ++i) {
-    if (pick < w[i]) {
+  for (std::size_t i = 0; i < var.size(); ++i) {
+    const double w = var[i] + 1e-12;
+    if (pick < w) {
       return i;
     }
-    pick -= w[i];
+    pick -= w;
   }
   return pool.size() - 1;
 }
@@ -68,10 +71,7 @@ std::vector<std::size_t> AcclaimAcquisition::rank(
   if (!model.trained()) {
     return {};
   }
-  std::vector<double> var(pool.size(), 0.0);
-  for (std::size_t i = 0; i < pool.size(); ++i) {
-    var[i] = model.jackknife_variance(pool[i]);
-  }
+  const std::vector<double> var = model.jackknife_variances(pool);
   std::vector<std::size_t> order(pool.size());
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(),

@@ -7,6 +7,7 @@
 #include "telemetry/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace acclaim::core {
 
@@ -24,6 +25,9 @@ void ActiveLearner::set_monitor(std::function<double(const CollectiveModel&)> pr
 }
 
 TrainingResult ActiveLearner::run() {
+  if (config_.threads > 0) {
+    util::set_global_threads(config_.threads);
+  }
   const std::vector<bench::BenchmarkPoint> candidates = space_.candidates(collective_);
   std::vector<bench::BenchmarkPoint> pool = candidates;
   const std::size_t cap = config_.max_points < 0

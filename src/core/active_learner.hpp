@@ -47,6 +47,12 @@ struct ActiveLearnerConfig {
   /// Non-P2 cadence applied in *parallel* mode (sequential mode delegates
   /// this to the acquisition policy).
   int parallel_nonp2_cadence = 5;
+  /// Size of the compute thread pool used for forest fits, jackknife
+  /// sweeps, and acquisition scoring. 0 leaves the global pool as it is
+  /// (default: hardware concurrency, or the ACCLAIM_THREADS environment
+  /// variable). Any value yields bitwise-identical models — the per-tree
+  /// RNG streams are derived from `seed`, not from the schedule.
+  int threads = 0;
   std::uint64_t seed = 1;
 };
 

@@ -1,9 +1,12 @@
 #include "core/model.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <limits>
 
+#include "telemetry/metrics.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace acclaim::core {
 
@@ -54,11 +57,33 @@ double CollectiveModel::jackknife_variance(const bench::BenchmarkPoint& point) c
   return ml::jackknife_variance(preds);
 }
 
+std::vector<double> CollectiveModel::jackknife_variances(
+    const std::vector<bench::BenchmarkPoint>& points) const {
+  if (points.empty()) {
+    return {};
+  }
+  require(trained(), "model not trained");
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<double> out(points.size(), 0.0);
+  util::global_pool().parallel_for(0, points.size(), [&](std::size_t i) {
+    thread_local std::vector<double> preds;
+    forest_.predict_trees(encode_point(points[i]), preds);
+    out[i] = ml::jackknife_variance(preds);
+  });
+  static telemetry::Histogram& sweep_ms =
+      telemetry::metrics().histogram("model.variance_sweep_ms", {0.01, 32});
+  sweep_ms.observe(
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count());
+  return out;
+}
+
 double CollectiveModel::cumulative_variance(
     const std::vector<bench::BenchmarkPoint>& candidates) const {
+  const std::vector<double> var = jackknife_variances(candidates);
   double sum = 0.0;
-  for (const auto& p : candidates) {
-    sum += jackknife_variance(p);
+  for (double v : var) {
+    sum += v;
   }
   return sum;
 }

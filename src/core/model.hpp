@@ -45,8 +45,18 @@ class CollectiveModel {
   /// Jackknife variance of the per-tree log-time predictions (§IV-A).
   double jackknife_variance(const bench::BenchmarkPoint& point) const;
 
+  /// Jackknife variance for every point, in order — the batch form the
+  /// acquisition sweep and the convergence proxy share. Candidates are
+  /// scored on the global thread pool, one result slot per point, so the
+  /// vector is bitwise-identical for any thread count.
+  std::vector<double> jackknife_variances(
+      const std::vector<bench::BenchmarkPoint>& points) const;
+
   /// Sum of jackknife variances over a candidate set — the cumulative
-  /// variance used as the test-set-free convergence proxy (§IV-C).
+  /// variance used as the test-set-free convergence proxy (§IV-C). The
+  /// per-candidate sweep is parallel; the reduction is a fixed-order serial
+  /// sum (a parallel reduction would change the floating-point result with
+  /// the thread count).
   double cumulative_variance(const std::vector<bench::BenchmarkPoint>& candidates) const;
 
   /// The algorithm with the lowest predicted time for the scenario.

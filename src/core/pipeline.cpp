@@ -7,6 +7,7 @@
 #include "telemetry/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace acclaim::core {
 
@@ -72,6 +73,7 @@ PipelineResult AcclaimPipeline::run(const JobSpec& spec) const {
     // clock (the quantity the paper's Fig. 14/15 amortization argument is
     // about), so attach it alongside the wall time ScopedPhase records.
     phase.annotate("sim_s", summary.train_time_s);
+    phase.annotate("threads", util::global_threads());
     phase.annotate("points", summary.points);
     phase.annotate("iterations", summary.iterations);
     phase.annotate("converged", summary.converged);

@@ -4,6 +4,7 @@
 
 #include "telemetry/metrics.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace acclaim::ml {
 
@@ -13,19 +14,27 @@ void RandomForest::fit(const std::vector<FeatureRow>& X, const std::vector<doubl
   require(!X.empty() && X.size() == y.size(), "forest requires non-empty, aligned X/y");
   const auto start = std::chrono::steady_clock::now();
   trees_.assign(static_cast<std::size_t>(params.n_trees), DecisionTree{});
+  // One independent stream per tree, derived from the run seed *before* the
+  // parallel region. Tree i always sees the i-th derived seed, so the forest
+  // is bitwise-identical for any thread count (and identical to the old
+  // sequential rng.split() chain, which produced exactly these seeds).
   util::Rng rng(seed);
-  std::vector<std::size_t> sample(X.size());
-  for (auto& tree : trees_) {
-    util::Rng tree_rng = rng.split();
+  std::vector<std::uint64_t> tree_seeds(trees_.size());
+  for (std::uint64_t& s : tree_seeds) {
+    s = rng.next_u64();
+  }
+  util::global_pool().parallel_for(0, trees_.size(), [&](std::size_t i) {
+    util::Rng tree_rng(tree_seeds[i]);
     if (params.bootstrap) {
+      std::vector<std::size_t> sample(X.size());
       for (auto& s : sample) {
         s = tree_rng.index(X.size());
       }
-      tree.fit(X, y, sample, params.tree, tree_rng);
+      trees_[i].fit(X, y, sample, params.tree, tree_rng);
     } else {
-      tree.fit(X, y, params.tree, tree_rng);
+      trees_[i].fit(X, y, params.tree, tree_rng);
     }
-  }
+  });
   static telemetry::Counter& fits = telemetry::metrics().counter("ml.forest.fits");
   static telemetry::Histogram& fit_ms =
       telemetry::metrics().histogram("ml.forest.fit_ms", {0.01, 32});
@@ -53,9 +62,14 @@ std::vector<double> RandomForest::predict_trees(const FeatureRow& row) const {
 void RandomForest::predict_trees(const FeatureRow& row, std::vector<double>& out) const {
   require(fitted(), "RandomForest::predict_trees called before fit");
   out.resize(trees_.size());
-  for (std::size_t i = 0; i < trees_.size(); ++i) {
-    out[i] = trees_[i].predict(row);
-  }
+  // Per-tree prediction is cheap (~a tree-depth of node hops), so the grain
+  // keeps small forests — and every nested call from a candidate-level
+  // parallel_for — on the inline path; only large forests queried from the
+  // main thread split. Slot-per-tree writes keep any split bitwise-stable.
+  constexpr std::size_t kPredictGrain = 64;
+  util::global_pool().parallel_for(
+      0, trees_.size(), [&](std::size_t i) { out[i] = trees_[i].predict(row); },
+      kPredictGrain);
   // Hot path (jackknife variance sweeps call this per candidate per
   // iteration): a relaxed increment only, no clock reads.
   static telemetry::Counter& predicts = telemetry::metrics().counter("ml.forest.predicts");

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace acclaim::telemetry {
 
@@ -52,6 +53,21 @@ double Histogram::bucket_bound(int i) const {
 std::uint64_t Histogram::bucket_count(int i) const {
   require(i >= 0 && i < num_buckets(), "bucket_count: index out of range");
   return buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+}
+
+double Histogram::percentile(double p) const {
+  std::vector<BucketSlice> slices;
+  for (int i = 0; i < num_buckets(); ++i) {
+    const std::uint64_t c = bucket_count(i);
+    if (c == 0) {
+      continue;
+    }
+    BucketSlice s;
+    s.le = i < opts_.buckets ? bucket_bound(i) : std::numeric_limits<double>::infinity();
+    s.n = c;
+    slices.push_back(s);
+  }
+  return percentile_from_buckets(slices, count(), min(), max(), p);
 }
 
 void Histogram::reset() noexcept {
@@ -182,5 +198,40 @@ util::Json MetricsRegistry::to_json() const {
 }
 
 void MetricsRegistry::dump_file(const std::string& path) const { to_json().dump_file(path); }
+
+double percentile_from_buckets(const std::vector<BucketSlice>& buckets, std::uint64_t count,
+                               double min_v, double max_v, double p) {
+  if (count == 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count);
+  double seen = 0.0;
+  for (const BucketSlice& b : buckets) {
+    const double after = seen + static_cast<double>(b.n);
+    if (after >= target) {
+      // Log2 buckets span (le/2, le]; the overflow bucket tops out at the
+      // observed max. Interpolate the rank's position inside the span.
+      const double hi = std::isinf(b.le) ? max_v : b.le;
+      const double lo = std::isinf(b.le) ? hi : hi / 2.0;
+      const double frac =
+          b.n == 0 ? 1.0 : (target - seen) / static_cast<double>(b.n);
+      const double v = lo + (hi - lo) * frac;
+      return std::clamp(v, min_v, max_v);
+    }
+    seen = after;
+  }
+  return max_v;  // rank beyond the recorded buckets (p == 1 edge)
+}
+
+void publish_thread_pool_metrics() {
+  const util::ThreadPoolStats st = util::global_pool().stats();
+  MetricsRegistry& reg = metrics();
+  reg.gauge("threadpool.threads").set(static_cast<double>(st.threads));
+  reg.gauge("threadpool.tasks_executed").set(static_cast<double>(st.tasks_executed));
+  reg.gauge("threadpool.parallel_fors").set(static_cast<double>(st.parallel_fors));
+  reg.gauge("threadpool.inline_runs").set(static_cast<double>(st.inline_runs));
+  reg.gauge("threadpool.queue_peak").set(static_cast<double>(st.queue_peak));
+}
 
 }  // namespace acclaim::telemetry

@@ -84,6 +84,11 @@ class Histogram {
   double bucket_bound(int i) const;
   std::uint64_t bucket_count(int i) const;
 
+  /// p-quantile (p in [0, 1]) estimated from the log2 bucket counts with
+  /// linear interpolation inside the covering bucket, clamped to the
+  /// observed [min, max]. NaN when the histogram is empty.
+  double percentile(double p) const;
+
   void reset() noexcept;
 
   /// {"count":..,"sum":..,"min":..,"max":..,"buckets":[{"le":..,"n":..}...]}
@@ -133,5 +138,28 @@ class MetricsRegistry {
 
 /// Shorthand for MetricsRegistry::global().
 inline MetricsRegistry& metrics() { return MetricsRegistry::global(); }
+
+/// One (upper_bound, count) pair of a log2-scale histogram; an infinite
+/// bound marks the overflow bucket. Mirrors the Histogram::to_json layout so
+/// `acclaim report --metrics` can summarize exported snapshots.
+struct BucketSlice {
+  double le = 0.0;
+  std::uint64_t n = 0;
+};
+
+/// Shared percentile estimator for Histogram::percentile and for snapshots
+/// re-read from JSON: walks the (sparse, sorted) bucket list to the bucket
+/// covering rank p*count, interpolates linearly between the bucket's bounds
+/// (each log2 bucket spans [le/2, le]), and clamps to [min_v, max_v]. NaN
+/// when count is 0.
+double percentile_from_buckets(const std::vector<BucketSlice>& buckets, std::uint64_t count,
+                               double min_v, double max_v, double p);
+
+/// Copies the global thread pool's usage counters into the registry as
+/// gauges (threadpool.threads, .tasks_executed, .parallel_fors,
+/// .inline_runs, .queue_peak). The pool lives below telemetry in the layer
+/// graph and cannot record into the registry itself; call this before
+/// exporting a snapshot (the CLI and benches do).
+void publish_thread_pool_metrics();
 
 }  // namespace acclaim::telemetry

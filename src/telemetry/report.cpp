@@ -1,8 +1,12 @@
 #include "telemetry/report.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <ostream>
 
+#include "telemetry/metrics.hpp"
+#include "util/error.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -139,6 +143,62 @@ void render_report(const RunReport& report, std::ostream& os, int max_trajectory
     }
     table.print(os);
   }
+}
+
+void render_metrics_summary(const util::Json& metrics_doc, std::ostream& os) {
+  require(metrics_doc.is_object() && metrics_doc.contains("histograms") &&
+              metrics_doc.contains("counters") && metrics_doc.contains("gauges"),
+          "not a metrics snapshot (expected counters/gauges/histograms)");
+
+  const auto fmt = [](double v) {
+    if (std::isnan(v)) {
+      return std::string("-");
+    }
+    return util::fixed(v, v < 10.0 ? 4 : 1);
+  };
+
+  os << "=== metrics: counters & gauges ===\n";
+  {
+    util::TablePrinter table({"instrument", "value"});
+    for (const auto& [name, value] : metrics_doc.at("counters").as_object()) {
+      if (value.as_number() != 0.0) {
+        table.add_row({name, std::to_string(static_cast<std::uint64_t>(value.as_number()))});
+      }
+    }
+    for (const auto& [name, value] : metrics_doc.at("gauges").as_object()) {
+      if (value.as_number() != 0.0) {
+        table.add_row({name, fmt(value.as_number())});
+      }
+    }
+    table.print(os);
+  }
+
+  os << "\n=== metrics: histogram percentiles ===\n";
+  util::TablePrinter table({"histogram", "count", "mean", "p50", "p95", "p99", "max"});
+  for (const auto& [name, h] : metrics_doc.at("histograms").as_object()) {
+    const auto count = static_cast<std::uint64_t>(h.at("count").as_number());
+    if (count == 0) {
+      continue;
+    }
+    std::vector<BucketSlice> slices;
+    for (const util::Json& b : h.at("buckets").as_array()) {
+      BucketSlice s;
+      // The overflow bucket serializes its bound as the string "inf".
+      s.le = b.at("le").is_number() ? b.at("le").as_number()
+                                    : std::numeric_limits<double>::infinity();
+      s.n = static_cast<std::uint64_t>(b.at("n").as_number());
+      slices.push_back(s);
+    }
+    const double min_v = h.contains("min") ? h.at("min").as_number() : 0.0;
+    const double max_v = h.contains("max") ? h.at("max").as_number() : 0.0;
+    table.add_row({name, std::to_string(count),
+                   fmt(h.contains("mean") ? h.at("mean").as_number() : 0.0),
+                   fmt(percentile_from_buckets(slices, count, min_v, max_v, 0.50)),
+                   fmt(percentile_from_buckets(slices, count, min_v, max_v, 0.95)),
+                   fmt(percentile_from_buckets(slices, count, min_v, max_v, 0.99)),
+                   fmt(max_v)});
+  }
+  table.print(os);
 }
 
 }  // namespace acclaim::telemetry

@@ -69,4 +69,11 @@ RunReport build_report(const std::vector<TraceEvent>& events);
 /// batch-size histogram.
 void render_report(const RunReport& report, std::ostream& os, int max_trajectory_rows = 12);
 
+/// Renders a metrics snapshot (the JSON shape MetricsRegistry::to_json /
+/// --metrics-out produce): non-zero counters and gauges, plus one row per
+/// histogram with count, mean, and p50/p95/p99 estimated from the log2
+/// bucket counts (percentile_from_buckets). Throws InvalidArgument when the
+/// document is not a metrics snapshot.
+void render_metrics_summary(const util::Json& metrics_doc, std::ostream& os);
+
 }  // namespace acclaim::telemetry

@@ -87,6 +87,16 @@ std::size_t Rng::index(std::size_t n) {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream) {
+  // Two dependent splitmix passes decorrelate (seed, stream) pairs; the
+  // result seeds the usual splitmix->xoshiro expansion in the constructor.
+  std::uint64_t x = seed;
+  std::uint64_t mixed = splitmix64(x);
+  x ^= stream * 0x94d049bb133111ebULL + 0x9e3779b97f4a7c15ULL;
+  mixed ^= splitmix64(x);
+  return Rng(mixed);
+}
+
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
   require(k <= n, "sample_without_replacement requires k <= n");
   std::vector<std::size_t> pool(n);

@@ -50,6 +50,13 @@ class Rng {
   /// Derive an independent generator (jump-free splitting via splitmix).
   Rng split();
 
+  /// Counter-based stream derivation: an independent generator for stream
+  /// index `stream` under `seed`. Unlike split(), which advances the parent
+  /// and therefore depends on call order, stream(seed, i) is a pure function
+  /// of its arguments — the i-th tree/candidate of a parallel sweep sees the
+  /// same sequence no matter which thread reaches it first.
+  static Rng stream(std::uint64_t seed, std::uint64_t stream);
+
   /// Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) {

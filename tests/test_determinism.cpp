@@ -1,0 +1,197 @@
+// Golden determinism suite: the parallelized training engine must produce
+// bitwise-identical models, predictions, jackknife variances, and
+// acquisition rankings for any `--threads` value, and identical results
+// across two identically-seeded runs. These tests are the contract behind
+// DESIGN.md "Threading & determinism" and run under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "benchdata/point.hpp"
+#include "collectives/types.hpp"
+#include "core/acquisition.hpp"
+#include "core/model.hpp"
+#include "ml/forest.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace acclaim;
+
+/// Restores the global pool size on scope exit so test order never leaks.
+class ThreadGuard {
+ public:
+  ThreadGuard() : original_(util::global_threads()) {}
+  ~ThreadGuard() { util::set_global_threads(original_); }
+
+ private:
+  int original_;
+};
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+/// Synthetic regression problem with enough structure that trees actually
+/// split: y = f(x) + seeded noise over a 3-feature grid.
+void synthetic_data(std::vector<ml::FeatureRow>& X, std::vector<double>& y, std::uint64_t seed) {
+  util::Rng rng(seed);
+  X.clear();
+  y.clear();
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform();
+    const double b = rng.uniform() * 4.0;
+    const double c = static_cast<double>(rng.uniform_int(0, 3));
+    X.push_back({a, b, c});
+    y.push_back(std::sin(a * 6.0) + 0.5 * b + (c == 2.0 ? 1.5 : 0.0) + 0.05 * rng.uniform());
+  }
+}
+
+/// Fits a forest at the given thread count and returns its serialized form.
+std::string fit_forest_json(int threads, std::uint64_t seed) {
+  util::set_global_threads(threads);
+  std::vector<ml::FeatureRow> X;
+  std::vector<double> y;
+  synthetic_data(X, y, seed);
+  ml::ForestParams params;
+  params.n_trees = 32;
+  ml::RandomForest forest;
+  forest.fit(X, y, params, seed);
+  return forest.to_json().dump();
+}
+
+TEST(GoldenDeterminism, ForestFitBitwiseIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  const std::string golden = fit_forest_json(1, 42);
+  for (int threads : kThreadCounts) {
+    EXPECT_EQ(fit_forest_json(threads, 42), golden) << "threads=" << threads;
+  }
+}
+
+TEST(GoldenDeterminism, TwoIdenticallySeededRunsIdentical) {
+  ThreadGuard guard;
+  EXPECT_EQ(fit_forest_json(8, 7), fit_forest_json(8, 7));
+  EXPECT_NE(fit_forest_json(8, 7), fit_forest_json(8, 8)) << "seed must matter";
+}
+
+TEST(GoldenDeterminism, PredictionsAndJackknifeBitwiseIdentical) {
+  ThreadGuard guard;
+  std::vector<ml::FeatureRow> X;
+  std::vector<double> y;
+  synthetic_data(X, y, 99);
+  ml::ForestParams params;
+  params.n_trees = 40;
+
+  // Reference: fully sequential.
+  util::set_global_threads(1);
+  ml::RandomForest ref;
+  ref.fit(X, y, params, 99);
+  std::vector<std::vector<double>> ref_trees(X.size());
+  std::vector<double> ref_mean(X.size());
+  for (std::size_t i = 0; i < X.size(); ++i) {
+    ref_trees[i] = ref.predict_trees(X[i]);
+    ref_mean[i] = ref.predict(X[i]);
+  }
+
+  for (int threads : kThreadCounts) {
+    util::set_global_threads(threads);
+    ml::RandomForest forest;
+    forest.fit(X, y, params, 99);
+    for (std::size_t i = 0; i < X.size(); ++i) {
+      const std::vector<double> trees = forest.predict_trees(X[i]);
+      ASSERT_EQ(trees.size(), ref_trees[i].size());
+      for (std::size_t t = 0; t < trees.size(); ++t) {
+        ASSERT_EQ(trees[t], ref_trees[i][t]) << "threads=" << threads << " row=" << i;
+      }
+      ASSERT_EQ(forest.predict(X[i]), ref_mean[i]) << "threads=" << threads;
+      ASSERT_EQ(ml::jackknife_variance(trees), ml::jackknife_variance(ref_trees[i]));
+    }
+  }
+}
+
+/// Labeled points over every Bcast algorithm and a small scenario grid,
+/// with a smooth synthetic cost so the model has signal.
+std::vector<core::LabeledPoint> synthetic_bcast_points() {
+  std::vector<core::LabeledPoint> data;
+  const auto algorithms = coll::algorithms_for(coll::Collective::Bcast);
+  for (int nodes : {2, 4, 8, 16}) {
+    for (std::uint64_t msg : {64ull, 1024ull, 16384ull}) {
+      std::size_t ai = 0;
+      for (coll::Algorithm alg : algorithms) {
+        core::LabeledPoint p;
+        p.point.scenario.collective = coll::Collective::Bcast;
+        p.point.scenario.nnodes = nodes;
+        p.point.scenario.ppn = 4;
+        p.point.scenario.msg_bytes = msg;
+        p.point.algorithm = alg;
+        p.time_us = 10.0 + static_cast<double>(msg) / 256.0 +
+                    2.0 * nodes * (1.0 + 0.3 * static_cast<double>(ai));
+        data.push_back(p);
+        ++ai;
+      }
+    }
+  }
+  return data;
+}
+
+TEST(GoldenDeterminism, CollectiveModelVarianceSweepIdenticalAcrossThreads) {
+  ThreadGuard guard;
+  const std::vector<core::LabeledPoint> data = synthetic_bcast_points();
+  std::vector<bench::BenchmarkPoint> pool;
+  for (const auto& lp : data) {
+    pool.push_back(lp.point);
+  }
+
+  util::set_global_threads(1);
+  core::CollectiveModel ref(coll::Collective::Bcast);
+  ref.fit(data, 1234);
+  const std::vector<double> ref_var = ref.jackknife_variances(pool);
+  const double ref_cum = ref.cumulative_variance(pool);
+  ASSERT_EQ(ref_var.size(), pool.size());
+
+  for (int threads : kThreadCounts) {
+    util::set_global_threads(threads);
+    core::CollectiveModel model(coll::Collective::Bcast);
+    model.fit(data, 1234);
+    EXPECT_EQ(model.to_json().dump(), ref.to_json().dump()) << "threads=" << threads;
+    const std::vector<double> var = model.jackknife_variances(pool);
+    ASSERT_EQ(var.size(), ref_var.size());
+    for (std::size_t i = 0; i < var.size(); ++i) {
+      ASSERT_EQ(var[i], ref_var[i]) << "threads=" << threads << " candidate=" << i;
+    }
+    EXPECT_EQ(model.cumulative_variance(pool), ref_cum) << "threads=" << threads;
+  }
+}
+
+TEST(GoldenDeterminism, AcquisitionRankOrderIdenticalAcrossThreads) {
+  ThreadGuard guard;
+  const std::vector<core::LabeledPoint> data = synthetic_bcast_points();
+  std::vector<bench::BenchmarkPoint> pool;
+  for (const auto& lp : data) {
+    pool.push_back(lp.point);
+  }
+
+  util::set_global_threads(1);
+  core::CollectiveModel model(coll::Collective::Bcast);
+  model.fit(data, 77);
+  const core::AcclaimAcquisition policy;
+  const std::vector<std::size_t> ref_rank = policy.rank(model, pool);
+  ASSERT_EQ(ref_rank.size(), pool.size());
+
+  for (int threads : kThreadCounts) {
+    util::set_global_threads(threads);
+    const std::vector<std::size_t> rank = policy.rank(model, pool);
+    ASSERT_EQ(rank, ref_rank) << "threads=" << threads;
+  }
+}
+
+TEST(GoldenDeterminism, EmptyCandidateListStaysLegalUntrained) {
+  ThreadGuard guard;
+  util::set_global_threads(4);
+  const core::CollectiveModel untrained;
+  EXPECT_TRUE(untrained.jackknife_variances({}).empty());
+  EXPECT_EQ(untrained.cumulative_variance({}), 0.0);
+}
+
+}  // namespace

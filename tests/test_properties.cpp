@@ -1,8 +1,9 @@
 // Cross-cutting property tests: schedule determinism, traffic accounting,
-// executor agreement, jackknife algebra, and rule-table properties over
-// randomized inputs.
+// executor agreement, jackknife algebra, rule-table properties, and
+// thread-pool stress over randomized inputs.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 
 #include "collectives/types.hpp"
@@ -16,6 +17,7 @@
 #include "simnet/network.hpp"
 #include "test_helpers.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -201,6 +203,98 @@ TEST(ForestProperties, PredictionWithinTrainingRange) {
     const double pred = f.predict(probe);
     EXPECT_GE(pred, 5.0 - 1e-9);
     EXPECT_LE(pred, 9.0 + 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized thread-pool stress: hammer the global pool across random pool
+// sizes, range shapes, and grains, checking every parallel result against a
+// sequential reference computed with the same counter-indexed Rng streams.
+
+class ThreadStress : public ::testing::Test {
+ protected:
+  void SetUp() override { original_threads_ = util::global_threads(); }
+  void TearDown() override { util::set_global_threads(original_threads_); }
+
+ private:
+  int original_threads_ = 1;
+};
+
+TEST_F(ThreadStress, RandomizedParallelForMatchesSequentialReference) {
+  util::Rng meta(0x57E55ull);
+  const int thread_choices[] = {1, 2, 4, 8};
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::uint64_t seed = meta.next_u64();
+    const std::size_t n = static_cast<std::size_t>(meta.uniform_int(1, 400));
+    const std::size_t grain = static_cast<std::size_t>(meta.uniform_int(1, 17));
+    const int threads = thread_choices[meta.index(4)];
+
+    // Sequential reference: one derived stream per index, pure function of
+    // (seed, i) — the same scheme the forest uses for per-tree RNGs.
+    std::vector<double> expect(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      util::Rng r = util::Rng::stream(seed, i);
+      expect[i] = r.uniform() + r.uniform(0.0, static_cast<double>(i + 1));
+    }
+
+    util::set_global_threads(threads);
+    std::vector<double> got(n);
+    util::global_pool().parallel_for(
+        0, n,
+        [&](std::size_t i) {
+          util::Rng r = util::Rng::stream(seed, i);
+          got[i] = r.uniform() + r.uniform(0.0, static_cast<double>(i + 1));
+        },
+        grain);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(got[i], expect[i])
+          << "trial=" << trial << " threads=" << threads << " grain=" << grain << " i=" << i;
+    }
+  }
+}
+
+TEST_F(ThreadStress, RepeatedResizeUnderWork) {
+  // Resizing between parallel regions must never lose indices or deadlock.
+  util::Rng meta(0xBEEF);
+  std::vector<std::atomic<int>> hits(512);
+  for (int round = 0; round < 12; ++round) {
+    util::set_global_threads(static_cast<int>(meta.uniform_int(1, 8)));
+    for (auto& h : hits) {
+      h.store(0);
+    }
+    util::global_pool().parallel_for(0, hits.size(),
+                                     [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "round=" << round << " i=" << i;
+    }
+  }
+}
+
+TEST_F(ThreadStress, ForestFitDeterministicUnderRandomDataAndThreads) {
+  util::Rng meta(0xF0E57);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::uint64_t seed = meta.next_u64();
+    std::vector<ml::FeatureRow> X;
+    std::vector<double> y;
+    util::Rng data(seed);
+    const int rows = 40 + static_cast<int>(data.uniform_int(0, 80));
+    for (int i = 0; i < rows; ++i) {
+      X.push_back({data.uniform(0, 8), data.uniform(0, 8), data.uniform(0, 2)});
+      y.push_back(data.uniform(0.0, 5.0) + X.back()[0]);
+    }
+    ml::ForestParams params;
+    params.n_trees = 16;
+
+    util::set_global_threads(1);
+    ml::RandomForest ref;
+    ref.fit(X, y, params, seed);
+    const std::string golden = ref.to_json().dump();
+
+    const int threads = 2 + static_cast<int>(meta.uniform_int(0, 6));
+    util::set_global_threads(threads);
+    ml::RandomForest forest;
+    forest.fit(X, y, params, seed);
+    ASSERT_EQ(forest.to_json().dump(), golden) << "trial=" << trial << " threads=" << threads;
   }
 }
 

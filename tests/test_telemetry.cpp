@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <limits>
@@ -15,6 +16,7 @@
 #include "telemetry/trace.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -105,6 +107,104 @@ TEST_F(TelemetryTest, HistogramStatsAndReset) {
   for (int i = 0; i < h.num_buckets(); ++i) {
     EXPECT_EQ(h.bucket_count(i), 0u);
   }
+}
+
+TEST_F(TelemetryTest, PercentileEmptyHistogramIsNaN) {
+  telemetry::Histogram h({1.0, 3});
+  EXPECT_TRUE(std::isnan(h.percentile(0.5)));
+  EXPECT_TRUE(std::isnan(h.percentile(0.99)));
+}
+
+TEST_F(TelemetryTest, PercentileInterpolatesWithinBucket) {
+  // Two observations in bucket (1, 2]: the rank interpolation is exact.
+  telemetry::Histogram h({1.0, 3});
+  h.observe(1.5);
+  h.observe(2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 1.5);   // rank 1 of 2 -> halfway up the span
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 2.0);   // top of the span
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.5);   // clamped to the observed min
+}
+
+TEST_F(TelemetryTest, PercentilesMonotoneAndBracketedByMinMax) {
+  telemetry::Histogram h({0.01, 32});
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  for (int i = 0; i < 500; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    h.observe(0.02 + static_cast<double>(state % 10000) / 37.0);
+  }
+  const double p50 = h.percentile(0.50);
+  const double p95 = h.percentile(0.95);
+  const double p99 = h.percentile(0.99);
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max());
+}
+
+TEST_F(TelemetryTest, PercentileOverflowBucketClampsToMax) {
+  // Everything lands past the last finite bound (4.0): the overflow bucket
+  // has no upper bound, so the estimate collapses to the observed max.
+  telemetry::Histogram h({1.0, 3});
+  h.observe(100.0);
+  h.observe(250.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 250.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 250.0);
+}
+
+TEST_F(TelemetryTest, PercentileFromBucketsMatchesLiveHistogram) {
+  // Snapshot-side estimator (what `acclaim report --metrics` uses) agrees
+  // with the in-process one for the same sparse bucket list.
+  telemetry::Histogram h({1.0, 8});
+  for (double v : {0.4, 1.2, 2.7, 3.1, 9.0, 15.0, 120.0, 300.0}) {
+    h.observe(v);
+  }
+  std::vector<telemetry::BucketSlice> slices;
+  for (int i = 0; i < h.num_buckets(); ++i) {
+    if (h.bucket_count(i) == 0) {
+      continue;
+    }
+    telemetry::BucketSlice s;
+    s.le = i < h.num_buckets() - 1 ? h.bucket_bound(i)
+                                   : std::numeric_limits<double>::infinity();
+    s.n = h.bucket_count(i);
+    slices.push_back(s);
+  }
+  for (double p : {0.1, 0.5, 0.9, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(
+        telemetry::percentile_from_buckets(slices, h.count(), h.min(), h.max(), p),
+        h.percentile(p))
+        << "p=" << p;
+  }
+}
+
+TEST_F(TelemetryTest, RenderMetricsSummarySmoke) {
+  telemetry::MetricsRegistry& reg = telemetry::metrics();
+  reg.counter("sum.runs").add(4);
+  reg.gauge("threadpool.threads").set(8);
+  telemetry::Histogram& h = reg.histogram("sum.latency_ms", {0.01, 32});
+  for (int i = 1; i <= 100; ++i) {
+    h.observe(static_cast<double>(i) * 0.1);
+  }
+  std::ostringstream os;
+  telemetry::render_metrics_summary(reg.to_json(), os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("sum.runs"), std::string::npos);
+  EXPECT_NE(out.find("threadpool.threads"), std::string::npos);
+  EXPECT_NE(out.find("sum.latency_ms"), std::string::npos);
+  EXPECT_NE(out.find("p95"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, RenderMetricsSummaryRejectsNonSnapshot) {
+  std::ostringstream os;
+  EXPECT_THROW(telemetry::render_metrics_summary(util::Json::object(), os), Error);
+}
+
+TEST_F(TelemetryTest, PublishThreadPoolMetricsSetsGauges) {
+  util::global_pool().parallel_for(0, 8, [](std::size_t) {});
+  telemetry::publish_thread_pool_metrics();
+  telemetry::MetricsRegistry& reg = telemetry::metrics();
+  EXPECT_GE(reg.gauge("threadpool.threads").value(), 1.0);
+  EXPECT_GE(reg.gauge("threadpool.parallel_fors").value(), 1.0);
 }
 
 TEST_F(TelemetryTest, RegistryJsonRoundTrip) {

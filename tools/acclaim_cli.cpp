@@ -33,6 +33,7 @@
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -111,10 +112,14 @@ int cmd_collect(const cli::Args& args) {
   return 0;
 }
 
-// Shared --trace-out / --metrics-out handling for the training commands.
-// open_telemetry must run before any instrumented work; finish_telemetry
-// flushes the metrics snapshot and closes the trace stream afterwards.
+// Shared --trace-out / --metrics-out / --threads handling for the training
+// commands. open_telemetry must run before any instrumented work;
+// finish_telemetry flushes the metrics snapshot and closes the trace stream
+// afterwards.
 void open_telemetry(const cli::Args& args) {
+  if (args.has("threads")) {
+    util::set_global_threads(args.get_int("threads", 0));
+  }
   if (args.has("trace-out")) {
     telemetry::tracer().open_stream(args.get("trace-out"));
   }
@@ -123,6 +128,7 @@ void open_telemetry(const cli::Args& args) {
 void finish_telemetry(const cli::Args& args) {
   if (args.has("metrics-out")) {
     const std::string path = args.get("metrics-out");
+    telemetry::publish_thread_pool_metrics();
     telemetry::metrics().dump_file(path);
     std::cout << "wrote metrics to " << path << "\n";
   }
@@ -162,6 +168,7 @@ int cmd_train(const cli::Args& args) {
   core::ActiveLearnerConfig cfg;
   cfg.forest.n_trees = args.get_int("trees", 50);
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.threads = args.get_int("threads", 0);
   if (args.has("max-points")) {
     cfg.max_points = args.get_int("max-points", -1);
   }
@@ -198,6 +205,7 @@ int cmd_tune_job(const cli::Args& args) {
   core::ActiveLearnerConfig learner;
   learner.forest.n_trees = args.get_int("trees", 50);
   learner.max_points = args.get_int("max-points", 250);
+  learner.threads = args.get_int("threads", 0);
   const core::AcclaimPipeline pipeline(machine_by_name(args.get("machine", "theta")), learner);
   const core::PipelineResult result = pipeline.run(spec);
   util::TablePrinter table({"collective", "points", "time", "converged"});
@@ -215,14 +223,27 @@ int cmd_tune_job(const cli::Args& args) {
 }
 
 int cmd_report(const cli::Args& args) {
-  const std::string path = args.require_flag("trace");
-  const auto events = telemetry::read_trace_file(path);
-  if (events.empty()) {
-    std::cerr << "trace " << path << " holds no recognizable events\n";
-    return 1;
+  const bool have_trace = args.has("trace");
+  const bool have_metrics = args.has("metrics");
+  if (!have_trace && !have_metrics) {
+    throw InvalidArgument("report needs a trace path and/or --metrics FILE.json");
   }
-  const telemetry::RunReport report = telemetry::build_report(events);
-  telemetry::render_report(report, std::cout, args.get_int("rows", 12));
+  if (have_trace) {
+    const std::string path = args.require_flag("trace");
+    const auto events = telemetry::read_trace_file(path);
+    if (events.empty()) {
+      std::cerr << "trace " << path << " holds no recognizable events\n";
+      return 1;
+    }
+    const telemetry::RunReport report = telemetry::build_report(events);
+    telemetry::render_report(report, std::cout, args.get_int("rows", 12));
+  }
+  if (have_metrics) {
+    if (have_trace) {
+      std::cout << "\n";
+    }
+    telemetry::render_metrics_summary(util::Json::parse_file(args.get("metrics")), std::cout);
+  }
   return 0;
 }
 
@@ -295,14 +316,15 @@ commands:
                   [--collectives a,b] [--min-msg S] [--max-msg S] [--nonp2 yes|no] [--seed K]
   train         active-learning training from a dataset
                   --dataset FILE [--collective C] [--model OUT] [--rules OUT]
-                  [--trees N] [--max-points N] [--seed K]
+                  [--trees N] [--max-points N] [--seed K] [--threads N]
                   [--trace-out FILE.jsonl] [--metrics-out FILE.json]
   tune-job      full pipeline on a simulated job (train + rule file)
                   [--machine theta] [--nodes N] [--ppn P] [--collectives a,b]
-                  [--rules OUT] [--max-points N] [--seed K]
+                  [--rules OUT] [--max-points N] [--seed K] [--threads N]
                   [--trace-out FILE.jsonl] [--metrics-out FILE.json]
-  report        render a run report from a trace file
+  report        render a run report from a trace and/or metrics snapshot
                   TRACE.jsonl | --trace FILE [--rows N]
+                  [--metrics FILE.json]   (histogram p50/p95/p99 summaries)
   select        resolve a scenario through a rule file
                   --rules FILE --collective C [--nodes N] [--ppn P] [--msg SIZE]
   inspect       summarize a dataset CSV
@@ -332,13 +354,14 @@ int main(int argc, char** argv) {
     if (cmd == "train") {
       return cmd_train(cli::Args(argc - 2, argv + 2,
                                  {"dataset", "collective", "model", "rules", "trees",
-                                  "max-points", "seed", "trace-out", "metrics-out"}));
+                                  "max-points", "seed", "threads", "trace-out",
+                                  "metrics-out"}));
     }
     if (cmd == "tune-job") {
       return cmd_tune_job(cli::Args(argc - 2, argv + 2,
                                     {"machine", "nodes", "ppn", "collectives", "min-msg",
                                      "max-msg", "rules", "trees", "max-points", "seed",
-                                     "trace-out", "metrics-out"}));
+                                     "threads", "trace-out", "metrics-out"}));
     }
     if (cmd == "report") {
       // Accept the trace path positionally (`acclaim report t.jsonl`) or
@@ -349,7 +372,7 @@ int main(int argc, char** argv) {
         positional = rest.front();
         rest.erase(rest.begin());
       }
-      cli::Args args(static_cast<int>(rest.size()), rest.data(), {"trace", "rows"});
+      cli::Args args(static_cast<int>(rest.size()), rest.data(), {"trace", "rows", "metrics"});
       if (!positional.empty() && args.has("trace")) {
         throw InvalidArgument("report takes either a positional trace path or --trace, not both");
       }
@@ -361,7 +384,7 @@ int main(int argc, char** argv) {
         for (char* a : rest) {
           fwd.push_back(a);
         }
-        args = cli::Args(static_cast<int>(fwd.size()), fwd.data(), {"trace", "rows"});
+        args = cli::Args(static_cast<int>(fwd.size()), fwd.data(), {"trace", "rows", "metrics"});
       }
       return cmd_report(args);
     }

@@ -1,27 +1,57 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, and run the full ctest suite.
+# Tier-1 verification: configure, build, and run the full ctest suite, then
+# (by default) rebuild the threading suites under ThreadSanitizer and run
+# the determinism/stress labels as a second configuration.
 #
 # usage: tools/run_tier1.sh [--sanitize LIST] [--build-dir DIR] [--jobs N]
+#                           [--tsan | --skip-tsan]
 #   --sanitize LIST   comma-separated sanitizers, e.g. address,undefined
 #                     (forwarded as -DACCLAIM_SANITIZE=LIST)
 #   --build-dir DIR   build tree location (default: build, or build-san when
 #                     sanitizers are on, so the two configurations coexist)
 #   --jobs N          parallel build/test jobs (default: nproc)
+#   --tsan            run ONLY the TSan configuration (build-tsan tree,
+#                     ctest -L "determinism|stress")
+#   --skip-tsan       skip the TSan pass after the main suite
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 sanitize=""
 build_dir=""
 jobs="$(nproc 2>/dev/null || echo 4)"
+tsan_mode="after"  # after | only | skip
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --sanitize) sanitize="$2"; shift 2 ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --jobs) jobs="$2"; shift 2 ;;
+    --tsan) tsan_mode="only"; shift ;;
+    --skip-tsan) tsan_mode="skip"; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
+
+run_tsan() {
+  # The determinism/stress labels cover every parallel_for call site with
+  # 2-8 thread pools; TSan on those suites is the data-race gate. The pool
+  # sizes in the tests don't depend on the host's core count, so this is
+  # meaningful even on a 1-core CI runner. ACCLAIM_THREADS is cleared so
+  # the environment cannot pin the suites back to one thread.
+  local tsan_dir="$repo_root/build-tsan"
+  echo "=== TSan configuration: determinism + stress suites ==="
+  cmake -B "$tsan_dir" -S "$repo_root" -DACCLAIM_SANITIZE=thread
+  cmake --build "$tsan_dir" --target test_thread_pool test_determinism test_properties -j "$jobs"
+  env -u ACCLAIM_THREADS \
+    TSAN_OPTIONS="suppressions=$repo_root/tools/tsan.supp ${TSAN_OPTIONS:-}" \
+    ctest --test-dir "$tsan_dir" -L "determinism|stress" \
+    --output-on-failure -j "$jobs"
+}
+
+if [[ "$tsan_mode" == "only" ]]; then
+  run_tsan
+  exit 0
+fi
 
 if [[ -z "$build_dir" ]]; then
   build_dir="build"
@@ -34,3 +64,7 @@ cmake_flags=()
 cmake -B "$repo_root/$build_dir" -S "$repo_root" "${cmake_flags[@]}"
 cmake --build "$repo_root/$build_dir" -j "$jobs"
 ctest --test-dir "$repo_root/$build_dir" --output-on-failure -j "$jobs"
+
+if [[ "$tsan_mode" == "after" && -z "$sanitize" ]]; then
+  run_tsan
+fi
