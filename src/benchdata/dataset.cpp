@@ -12,6 +12,7 @@
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace acclaim::bench {
 
@@ -159,14 +160,29 @@ Dataset precollect(const simnet::MachineConfig& machine, const FeatureGrid& grid
   }
   const simnet::Allocation alloc(ids);
 
+  // Parallel collection with the seed's exact noise sequence: the per-point
+  // rngs are split off serially in grid order (identical to the historical
+  // sequential loop), the simulated runs fan out on the global pool with
+  // each body writing only its own slot, and the dataset is assembled
+  // serially — so the resulting CSV is bitwise-identical for any thread
+  // count, including 1.
   Dataset ds;
   for (coll::Collective c : collectives) {
-    for (const BenchmarkPoint& point : grid.points(c)) {
-      util::Rng point_rng = rng.split();
-      ds.add(point, mb.run(point, alloc, point_rng));
+    const std::vector<BenchmarkPoint> points = grid.points(c);
+    std::vector<util::Rng> rngs;
+    rngs.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      rngs.push_back(rng.split());
     }
-    AC_LOG_INFO() << "precollected " << coll::collective_name(c) << " ("
-                  << grid.points(c).size() << " points)";
+    std::vector<Measurement> results(points.size());
+    util::global_pool().parallel_for(0, points.size(), [&](std::size_t i) {
+      results[i] = mb.run(points[i], alloc, rngs[i]);
+    });
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      ds.add(points[i], results[i]);
+    }
+    AC_LOG_INFO() << "precollected " << coll::collective_name(c) << " (" << points.size()
+                  << " points)";
   }
   return ds;
 }

@@ -1,6 +1,7 @@
 #include "benchdata/microbenchmark.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "minimpi/cost_executor.hpp"
@@ -66,7 +67,20 @@ Measurement Microbenchmark::run_with_load(const BenchmarkPoint& point,
                                           const std::unordered_map<int, int>& rack_flows,
                                           const std::unordered_map<int, int>& pair_flows,
                                           util::Rng& rng) const {
+  const auto host_start = std::chrono::steady_clock::now();
   const double base_us = run_schedule_us(net_, point, alloc, rack_flows, pair_flows);
+  return finish_run(point, base_us, rng, host_start);
+}
+
+Measurement Microbenchmark::run_priced(const BenchmarkPoint& point, double base_us,
+                                       util::Rng& rng) const {
+  require(base_us > 0.0, "run_priced requires a positive precomputed schedule time");
+  return finish_run(point, base_us, rng, std::chrono::steady_clock::now());
+}
+
+Measurement Microbenchmark::finish_run(const BenchmarkPoint& point, double base_us,
+                                       util::Rng& rng,
+                                       std::chrono::steady_clock::time_point host_start) const {
   const int iters = config_.timed_iterations(point.scenario.msg_bytes, base_us);
   const int warmup = static_cast<int>(std::ceil(config_.warmup_fraction * iters));
 
@@ -88,9 +102,18 @@ Measurement Microbenchmark::run_with_load(const BenchmarkPoint& point,
   static telemetry::Gauge& modeled = telemetry::metrics().gauge("simnet.modeled_run_us");
   static telemetry::Histogram& latency =
       telemetry::metrics().histogram("simnet.schedule_us", {1.0, 32});
+  // Host time spent simulating this point (schedule construction dominates):
+  // the quantity the fig13/fig14 host-wall columns aggregate. All
+  // instruments are atomic, so recording from concurrent batch members is
+  // safe.
+  static telemetry::Histogram& host_wall =
+      telemetry::metrics().histogram("simnet.microbench_wall_us", {1.0, 32});
   runs.add();
   modeled.add(run_us);
   latency.observe(base_us);
+  host_wall.observe(
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - host_start)
+          .count());
   return m;
 }
 

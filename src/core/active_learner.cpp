@@ -84,8 +84,8 @@ TrainingResult ActiveLearner::run() {
     if (can_parallel && result.model.trained()) {
       const std::vector<std::size_t> ranked = policy_.rank(result.model, pool);
       if (!ranked.empty()) {
-        CollectionBatch batch =
-            scheduler.plan(pool, ranked, *env_.topology(), *env_.allocation());
+        CollectionBatch batch = scheduler.plan(pool, ranked, *env_.topology(),
+                                               *env_.allocation(), env_.solo_cost_oracle());
         if (!batch.items.empty()) {
           // Apply the non-P2 cadence across scheduled items (§IV-B).
           for (auto& item : batch.items) {
@@ -97,7 +97,7 @@ TrainingResult ActiveLearner::run() {
               }
             }
           }
-          const auto measurements = env_.measure_scheduled(batch.items);
+          const auto measurements = env_.measure_scheduled(batch.items, batch.predicted_us);
           for (std::size_t i = 0; i < batch.items.size(); ++i) {
             result.collected.push_back({batch.items[i].point, measurements[i].mean_us});
             policy_.observe(batch.items[i].point, measurements[i].mean_us);

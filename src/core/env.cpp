@@ -1,11 +1,13 @@
 #include "core/env.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace acclaim::core {
 
@@ -13,9 +15,12 @@ namespace {
 
 /// Shared benchmark accounting for every environment implementation: the
 /// `benchmark_runs` counter / cost gauge the CLI exports and the per-run
-/// trace event the report builder folds into its totals.
+/// trace event the report builder folds into its totals. `slot` >= 0 marks
+/// a batched run and becomes the trace viewer's lane id; `wall_ms` >= 0
+/// attaches the item's host execution time (span duration in the
+/// chrome://tracing export).
 void note_benchmark(const char* source, const bench::BenchmarkPoint& point,
-                    const bench::Measurement& m) {
+                    const bench::Measurement& m, int slot = -1, double wall_ms = -1.0) {
   static telemetry::Counter& runs = telemetry::metrics().counter("benchmark_runs");
   static telemetry::Gauge& cost = telemetry::metrics().gauge("benchmark_sim_cost_s");
   runs.add();
@@ -30,6 +35,12 @@ void note_benchmark(const char* source, const bench::BenchmarkPoint& point,
     ev.fields["msg_bytes"] = point.scenario.msg_bytes;
     ev.fields["mean_us"] = m.mean_us;
     ev.fields["cost_s"] = m.collect_cost_s;
+    if (slot >= 0) {
+      ev.fields["slot"] = slot;
+    }
+    if (wall_ms >= 0.0) {
+      ev.fields["wall_ms"] = wall_ms;
+    }
     telemetry::tracer().record(std::move(ev));
   }
 }
@@ -44,6 +55,11 @@ std::vector<bench::Measurement> TuningEnvironment::measure_scheduled(
     out.push_back(measure(item.point));
   }
   return out;
+}
+
+std::vector<bench::Measurement> TuningEnvironment::measure_scheduled(
+    const std::vector<ScheduledBenchmark>& batch, const std::vector<double>& /*predicted*/) {
+  return measure_scheduled(batch);
 }
 
 namespace {
@@ -99,10 +115,10 @@ LiveEnvironment::LiveEnvironment(const simnet::Topology& topo, const simnet::All
       net_(topo, job_seed),
       mb_(net_, config.microbench),
       config_(config),
-      rng_(job_seed ^ 0xa5a5a5a5deadbeefULL) {}
+      noise_seed_(job_seed ^ 0xa5a5a5a5deadbeefULL) {}
 
 bench::Measurement LiveEnvironment::measure(const bench::BenchmarkPoint& point) {
-  util::Rng point_rng = rng_.split();
+  util::Rng point_rng = util::Rng::stream(noise_seed_, measure_seq_++);
   const bench::Measurement m = mb_.run(point, alloc_, point_rng);
   charge_s(m.collect_cost_s);
   note_benchmark("live", point, m);
@@ -111,61 +127,115 @@ bench::Measurement LiveEnvironment::measure(const bench::BenchmarkPoint& point) 
 
 std::vector<bench::Measurement> LiveEnvironment::measure_scheduled(
     const std::vector<ScheduledBenchmark>& batch) {
-  require(!batch.empty(), "measure_scheduled requires a non-empty batch");
+  return measure_scheduled(batch, {});
+}
 
-  // Which racks / pairs each co-running benchmark occupies.
-  struct Footprint {
-    std::set<int> racks;
-    std::set<int> pairs;
-  };
-  std::vector<Footprint> feet(batch.size());
+std::vector<bench::Measurement> LiveEnvironment::measure_scheduled(
+    const std::vector<ScheduledBenchmark>& batch, const std::vector<double>& predicted) {
+  require(!batch.empty(), "measure_scheduled requires a non-empty batch");
+  require(predicted.empty() || predicted.size() == batch.size(),
+          "predicted solo costs must be empty or parallel to the batch");
+
+  // Which racks / pairs each co-running benchmark occupies, plus the
+  // interference flows concurrent benchmarks inject into every rack / pair
+  // they share with it. A disjoint schedule (the §IV-D greedy guarantees
+  // rack disjointness) sees none of this. Everything here is precomputed
+  // serially so the parallel bodies below are read-only on shared state.
+  std::vector<simnet::RegionFootprint> feet(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const auto& item = batch[i];
     require(item.first_node >= 0 &&
                 item.first_node + item.point.scenario.nnodes <= alloc_.num_nodes(),
             "scheduled benchmark exceeds the job allocation");
-    for (int k = 0; k < item.point.scenario.nnodes; ++k) {
-      const int node = alloc_.node(item.first_node + k);
-      feet[i].racks.insert(topo_.rack_of(node));
-      feet[i].pairs.insert(topo_.pair_of(node));
-    }
+    feet[i] = alloc_.footprint(topo_, item.first_node, item.point.scenario.nnodes);
   }
-
-  std::vector<bench::Measurement> out;
-  out.reserve(batch.size());
-  double makespan_s = 0.0;
+  std::vector<std::unordered_map<int, int>> rack_flows(batch.size());
+  std::vector<std::unordered_map<int, int>> pair_flows(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    // Interference: concurrent benchmarks inject flows into every rack /
-    // pair they share with this one. A disjoint schedule (the §IV-D greedy
-    // guarantees rack disjointness) sees none of this.
-    std::unordered_map<int, int> rack_flows;
-    std::unordered_map<int, int> pair_flows;
     for (std::size_t j = 0; j < batch.size(); ++j) {
       if (j == i) {
         continue;
       }
       for (int r : feet[j].racks) {
         if (feet[i].racks.count(r)) {
-          rack_flows[r] += config_.interference_flows;
+          rack_flows[i][r] += config_.interference_flows;
         }
       }
       for (int p : feet[j].pairs) {
         if (feet[i].pairs.count(p)) {
-          pair_flows[p] += config_.interference_flows;
+          pair_flows[i][p] += config_.interference_flows;
         }
       }
     }
-    const simnet::Allocation sub =
-        alloc_.slice(batch[i].first_node, batch[i].point.scenario.nnodes);
-    util::Rng point_rng = rng_.split();
-    const bench::Measurement m =
-        mb_.run_with_load(batch[i].point, sub, rack_flows, pair_flows, point_rng);
-    makespan_s = std::max(makespan_s, m.collect_cost_s);
-    note_benchmark("live-parallel", batch[i].point, m);
-    out.push_back(m);
+  }
+
+  // Noise streams are assigned in batch order *before* the parallel loop:
+  // measurement i always consumes stream measure_seq_+i no matter which
+  // thread runs it, which is what makes the measured values bitwise-equal to
+  // a sequential run of the same seed.
+  std::vector<util::Rng> rngs;
+  rngs.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    rngs.push_back(util::Rng::stream(noise_seed_, measure_seq_++));
+  }
+
+  // Run the batch's simulated microbenchmarks concurrently across their
+  // disjoint allocation slices. Each body reads only immutable shared state
+  // (network model, allocation, precomputed flow maps) and writes only its
+  // own slots.
+  std::vector<bench::Measurement> out(batch.size());
+  std::vector<double> item_wall_ms(batch.size(), 0.0);
+  const auto batch_start = std::chrono::steady_clock::now();
+  util::global_pool().parallel_for(0, batch.size(), [&](std::size_t i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    // An interference-free item whose placement the scheduler already priced
+    // reuses that schedule time (run_with_load with empty flow maps computes
+    // exactly predicted_solo_us, so the measurements are bitwise-identical);
+    // rebuilding the schedule would double the batched path's host cost.
+    if (!predicted.empty() && rack_flows[i].empty() && pair_flows[i].empty()) {
+      out[i] = mb_.run_priced(batch[i].point, predicted[i], rngs[i]);
+    } else {
+      const simnet::Allocation sub =
+          alloc_.slice(batch[i].first_node, batch[i].point.scenario.nnodes);
+      out[i] = mb_.run_with_load(batch[i].point, sub, rack_flows[i], pair_flows[i], rngs[i]);
+    }
+    item_wall_ms[i] =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+  });
+  const double batch_wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - batch_start)
+          .count();
+
+  // Serial fold in slot order: clock accounting, telemetry, trace events.
+  double makespan_s = 0.0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    makespan_s = std::max(makespan_s, out[i].collect_cost_s);
+    note_benchmark("live-parallel", batch[i].point, out[i], static_cast<int>(i),
+                   item_wall_ms[i]);
   }
   charge_s(makespan_s);
+
+  static telemetry::Counter& batches = telemetry::metrics().counter("simnet.parallel_batches");
+  static telemetry::Counter& items = telemetry::metrics().counter("simnet.batch_items");
+  static telemetry::Histogram& wall =
+      telemetry::metrics().histogram("simnet.batch_wall_ms", {1.0 / 16, 16});
+  batches.add();
+  items.add(static_cast<std::uint64_t>(batch.size()));
+  wall.observe(batch_wall_ms);
   return out;
+}
+
+double LiveEnvironment::predicted_solo_us(const ScheduledBenchmark& item) const {
+  require(item.first_node >= 0 &&
+              item.first_node + item.point.scenario.nnodes <= alloc_.num_nodes(),
+          "scheduled benchmark exceeds the job allocation");
+  const simnet::Allocation sub = alloc_.slice(item.first_node, item.point.scenario.nnodes);
+  return mb_.schedule_time_us(item.point, sub);
+}
+
+SoloCostFn LiveEnvironment::solo_cost_oracle() const {
+  return [this](const ScheduledBenchmark& item) { return predicted_solo_us(item); };
 }
 
 std::optional<std::uint64_t> LiveEnvironment::nonp2_msg_near(std::uint64_t p2_anchor,

@@ -5,6 +5,7 @@
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace acclaim::core {
 
@@ -15,7 +16,8 @@ CollectionScheduler::CollectionScheduler(CollectionSchedulerConfig config) : con
 CollectionBatch CollectionScheduler::plan(const std::vector<bench::BenchmarkPoint>& pool,
                                           const std::vector<std::size_t>& ranked,
                                           const simnet::Topology& topo,
-                                          const simnet::Allocation& alloc) const {
+                                          const simnet::Allocation& alloc,
+                                          const SoloCostFn& solo_cost) const {
   CollectionBatch batch;
   // Nodes are consumed strictly left-to-right in allocation order, so the
   // used region is always a prefix and `cursor` fully describes it.
@@ -43,12 +45,49 @@ CollectionBatch CollectionScheduler::plan(const std::vector<bench::BenchmarkPoin
     }
   }
 
+  // Parallel placement scoring: each accepted candidate's solo schedule is
+  // priced concurrently (the expensive part — building the communication
+  // schedule against the cost model), one slot per candidate. The argmax
+  // fold below runs serially in slot order, so the predicted makespan and
+  // its witness are independent of the chunk-to-thread schedule.
+  if (solo_cost && !batch.items.empty()) {
+    batch.predicted_us.assign(batch.items.size(), 0.0);
+    util::global_pool().parallel_for(0, batch.items.size(), [&](std::size_t i) {
+      batch.predicted_us[i] = solo_cost(batch.items[i]);
+    });
+    for (std::size_t i = 0; i < batch.predicted_us.size(); ++i) {
+      if (batch.predicted_longest < 0 ||
+          batch.predicted_us[i] > batch.predicted_makespan_us) {
+        batch.predicted_makespan_us = batch.predicted_us[i];
+        batch.predicted_longest = static_cast<int>(i);
+      }
+    }
+  }
+
+  static telemetry::Counter& candidates =
+      telemetry::metrics().counter("scheduler.candidates_considered");
+  candidates.add(static_cast<std::uint64_t>(ranked.size()));
   if (!batch.items.empty()) {
     static telemetry::Counter& batches = telemetry::metrics().counter("scheduler.batches");
+    static telemetry::Counter& placed = telemetry::metrics().counter("scheduler.placements");
     static telemetry::Histogram& sizes =
         telemetry::metrics().histogram("scheduler.batch_size", {1.0, 12});
+    static telemetry::Histogram& occupancy =
+        telemetry::metrics().histogram("scheduler.batch_occupancy", {1.0 / 256, 10});
     batches.add();
+    placed.add(static_cast<std::uint64_t>(batch.items.size()));
     sizes.observe(static_cast<double>(batch.items.size()));
+    int occupied = 0;
+    for (const ScheduledBenchmark& item : batch.items) {
+      occupied += item.point.scenario.nnodes;
+    }
+    occupancy.observe(static_cast<double>(occupied) /
+                      static_cast<double>(alloc.num_nodes()));
+    if (!batch.predicted_us.empty()) {
+      static telemetry::Gauge& makespan =
+          telemetry::metrics().gauge("scheduler.predicted_makespan_us");
+      makespan.set(batch.predicted_makespan_us);
+    }
     if (telemetry::tracer().enabled()) {
       int nodes_used = 0;
       // Allocation fragments: maximal runs of consecutively-placed
@@ -88,6 +127,11 @@ CollectionBatch CollectionScheduler::plan(const std::vector<bench::BenchmarkPoin
       ev.fields["fragments"] = fragments;
       ev.fields["shared_racks"] = shared_racks;
       ev.fields["topology_aware"] = config_.topology_aware;
+      ev.fields["candidates"] = ranked.size();
+      if (!batch.predicted_us.empty()) {
+        ev.fields["predicted_makespan_us"] = batch.predicted_makespan_us;
+        ev.fields["predicted_longest"] = batch.predicted_longest;
+      }
       telemetry::tracer().record(std::move(ev));
     }
   }

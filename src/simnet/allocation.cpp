@@ -48,6 +48,36 @@ Allocation Allocation::slice(int first, int count) const {
   return Allocation(std::vector<int>(nodes_.begin() + first, nodes_.begin() + first + count));
 }
 
+bool RegionFootprint::shares_rack_with(const RegionFootprint& other) const {
+  for (int r : racks) {
+    if (other.racks.count(r)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RegionFootprint::shares_pair_with(const RegionFootprint& other) const {
+  for (int p : pairs) {
+    if (other.pairs.count(p)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+RegionFootprint Allocation::footprint(const Topology& topo, int first, int count) const {
+  require(first >= 0 && count >= 1 && first + count <= num_nodes(),
+          "allocation footprint region out of range");
+  RegionFootprint fp;
+  for (int k = 0; k < count; ++k) {
+    const int n = nodes_[static_cast<std::size_t>(first + k)];
+    fp.racks.insert(topo.rack_of(n));
+    fp.pairs.insert(topo.pair_of(n));
+  }
+  return fp;
+}
+
 JobScheduler::JobScheduler(const Topology& topo, double busy_fraction, util::Rng rng)
     : topo_(topo), busy_(static_cast<std::size_t>(topo.total_nodes()), false), rng_(rng) {
   require(busy_fraction >= 0.0 && busy_fraction < 1.0, "busy_fraction must be in [0, 1)");

@@ -7,12 +7,25 @@
 // lowest-numbered free nodes, which yields realistic fragmentation.
 #pragma once
 
+#include <set>
 #include <vector>
 
 #include "simnet/topology.hpp"
 #include "util/rng.hpp"
 
 namespace acclaim::simnet {
+
+/// The racks and rack pairs a node region touches. The parallel-collection
+/// environment intersects footprints to decide which co-running benchmarks
+/// interfere; the scheduler's disjointness guarantee is exactly "no two
+/// batch items' footprints share a rack".
+struct RegionFootprint {
+  std::set<int> racks;
+  std::set<int> pairs;
+
+  bool shares_rack_with(const RegionFootprint& other) const;
+  bool shares_pair_with(const RegionFootprint& other) const;
+};
 
 /// An ordered set of node ids granted to a job. Ranks are block-mapped onto
 /// the allocation: rank r runs on nodes[r / ppn].
@@ -35,6 +48,11 @@ class Allocation {
 
   /// Sub-allocation using nodes [first, first+count).
   Allocation slice(int first, int count) const;
+
+  /// Racks/pairs touched by the node region [first, first+count). Pure and
+  /// thread-safe: concurrent footprint queries over one allocation are the
+  /// parallel batch path's bread and butter.
+  RegionFootprint footprint(const Topology& topo, int first, int count) const;
 
  private:
   std::vector<int> nodes_;  // strictly increasing node ids

@@ -101,6 +101,16 @@ void record_machine_metrics(const MachineConfig& config) {
   reg.counter("simnet.topologies_realized").add();
 }
 
+int max_rack_disjoint_benchmarks(const MachineConfig& config, int bench_nodes) {
+  require(bench_nodes >= 1, "benchmark must use at least one node");
+  if (bench_nodes > config.total_nodes) {
+    return 0;
+  }
+  const int racks_per_bench =
+      (bench_nodes + config.nodes_per_rack - 1) / config.nodes_per_rack;
+  return config.num_racks() / racks_per_bench;
+}
+
 MachineConfig tiny_test_machine() {
   MachineConfig m;
   m.name = "tiny-test";

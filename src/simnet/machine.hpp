@@ -115,4 +115,12 @@ MachineConfig tiny_test_machine();
 /// exports identify the machine a run executed on.
 void record_machine_metrics(const MachineConfig& config);
 
+/// Upper bound on how many `bench_nodes`-node benchmarks can ever run
+/// rack-disjointly at once on this machine: whole-rack retirement means one
+/// benchmark consumes ceil(bench_nodes / nodes_per_rack) racks even when it
+/// uses a single node of each. This is the ceiling the §IV-D greedy can
+/// reach under the best possible placement ("max-parallel" in Fig. 13);
+/// batch-occupancy telemetry is read against it.
+int max_rack_disjoint_benchmarks(const MachineConfig& config, int bench_nodes);
+
 }  // namespace acclaim::simnet

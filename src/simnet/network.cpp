@@ -19,28 +19,34 @@ NetworkModel::NetworkModel(const Topology& topo, std::uint64_t job_seed) : topo_
   reg.counter("simnet.networks_realized").add();
   reg.gauge("simnet.job_latency_mult").set(lat_mult_);
   reg.gauge("simnet.background_global_factor").set(bg_global_);
+  // Freeze the job-effective link parameters now: after the constructor the
+  // model is immutable, which is what lets a whole parallel batch of
+  // simulated microbenchmarks share it without synchronization.
+  for (int i = 0; i < kNumLinkClasses; ++i) {
+    const auto c = static_cast<LinkClass>(i);
+    alpha_eff_us_[static_cast<std::size_t>(i)] = p.alpha_us[static_cast<std::size_t>(i)] * lat_mult_;
+    double beta = 1.0 / p.bandwidth_Bpus[static_cast<std::size_t>(i)];
+    if (c == LinkClass::Global) {
+      beta *= bg_global_;
+    }
+    beta_eff_us_per_byte_[static_cast<std::size_t>(i)] = beta;
+  }
 }
 
 double NetworkModel::alpha_us(LinkClass c) const {
-  const auto i = static_cast<std::size_t>(c);
-  double a = params().alpha_us[i] * lat_mult_;
-  return a;
+  return alpha_eff_us_[static_cast<std::size_t>(c)];
 }
 
 double NetworkModel::beta_us_per_byte(LinkClass c) const {
-  const auto i = static_cast<std::size_t>(c);
-  double beta = 1.0 / params().bandwidth_Bpus[i];
-  if (c == LinkClass::Global) {
-    beta *= bg_global_;
-  }
-  return beta;
+  return beta_eff_us_per_byte_[static_cast<std::size_t>(c)];
 }
 
 double NetworkModel::transfer_time_us(int src_node, int dst_node, std::uint64_t bytes) const {
   const LinkClass c = topo_.link_class(src_node, dst_node);
   static telemetry::Counter& transfers = telemetry::metrics().counter("simnet.transfers");
   transfers.add();
-  return alpha_us(c) + static_cast<double>(bytes) * beta_us_per_byte(c);
+  const auto i = static_cast<std::size_t>(c);
+  return alpha_eff_us_[i] + static_cast<double>(bytes) * beta_eff_us_per_byte_[i];
 }
 
 }  // namespace acclaim::simnet

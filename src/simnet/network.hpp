@@ -9,6 +9,7 @@
 //  * background congestion on the global layer from co-running applications.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "simnet/topology.hpp"
@@ -16,7 +17,10 @@
 
 namespace acclaim::simnet {
 
-/// Immutable per-job view of the interconnect.
+/// Immutable per-job view of the interconnect. All queries are const and
+/// touch only state frozen at construction, so one NetworkModel is safely
+/// shared by every concurrently-running simulated microbenchmark of a job
+/// (the parallel-collection path runs a whole batch against it at once).
 class NetworkModel {
  public:
   /// `job_seed` determines this job's latency multiplier and congestion
@@ -48,6 +52,11 @@ class NetworkModel {
   const Topology& topo_;
   double lat_mult_;
   double bg_global_;
+  /// Effective alpha/beta per link class, folded once at construction so the
+  /// per-transfer hot path (millions of calls per batch) is two array loads
+  /// and an FMA instead of re-applying the job multipliers every time.
+  std::array<double, kNumLinkClasses> alpha_eff_us_{};
+  std::array<double, kNumLinkClasses> beta_eff_us_per_byte_{};
 };
 
 }  // namespace acclaim::simnet

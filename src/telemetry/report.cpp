@@ -201,4 +201,44 @@ void render_metrics_summary(const util::Json& metrics_doc, std::ostream& os) {
   table.print(os);
 }
 
+util::Json chrome_trace_json(const std::vector<TraceEvent>& events) {
+  util::JsonArray out;
+  for (const TraceEvent& ev : events) {
+    util::JsonObject e;
+    e["name"] = ev.label.empty() ? std::string(event_kind_name(ev.kind)) : ev.label;
+    e["cat"] = event_kind_name(ev.kind);
+    const double wall_ms = num_field(ev, "wall_ms", -1.0);
+    const bool batched = ev.kind == EventKind::BenchmarkRun && ev.fields.contains("slot");
+    const bool span = wall_ms >= 0.0 && (ev.kind == EventKind::Phase || batched);
+    if (span) {
+      // Durations are recorded at scope exit, so the span *ends* at the
+      // event timestamp; clamp at the epoch for events whose duration
+      // predates tracer startup.
+      e["ph"] = "X";
+      e["ts"] = std::max(0.0, (ev.t_wall_ms - wall_ms) * 1000.0);
+      e["dur"] = wall_ms * 1000.0;
+    } else {
+      e["ph"] = "i";
+      e["ts"] = ev.t_wall_ms * 1000.0;
+      e["s"] = "t";  // instant scope: thread
+    }
+    e["pid"] = 1;
+    e["tid"] = batched ? static_cast<int>(num_field(ev, "slot")) + 1 : 0;
+    util::JsonObject args;
+    for (const auto& [key, value] : ev.fields) {
+      args[key] = value;
+    }
+    e["args"] = std::move(args);
+    out.push_back(util::Json(std::move(e)));
+  }
+  util::JsonObject doc;
+  doc["traceEvents"] = std::move(out);
+  doc["displayTimeUnit"] = "ms";
+  return util::Json(std::move(doc));
+}
+
+void write_chrome_trace(const std::vector<TraceEvent>& events, const std::string& path) {
+  chrome_trace_json(events).dump_file(path);
+}
+
 }  // namespace acclaim::telemetry

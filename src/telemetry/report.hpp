@@ -76,4 +76,20 @@ void render_report(const RunReport& report, std::ostream& os, int max_trajectory
 /// document is not a metrics snapshot.
 void render_metrics_summary(const util::Json& metrics_doc, std::ostream& os);
 
+/// Converts a trace to the chrome://tracing / Perfetto JSON object format
+/// ({"traceEvents": [...]}, timestamps in microseconds since the tracer
+/// epoch):
+///  * Phase events become complete ("X") spans — their recorded `wall_ms`
+///    duration ends at the event's timestamp — on thread lane 0;
+///  * batched BenchmarkRun events (a `slot` field, as emitted by
+///    LiveEnvironment::measure_scheduled) become complete spans of their
+///    `wall_ms` host duration on lane slot+1, visualizing batch overlap;
+///  * every other event becomes an instant ("i") event on lane 0.
+/// All original fields ride along under "args".
+util::Json chrome_trace_json(const std::vector<TraceEvent>& events);
+
+/// Serializes chrome_trace_json(events) to `path`. Throws IoError when the
+/// file cannot be written.
+void write_chrome_trace(const std::vector<TraceEvent>& events, const std::string& path);
+
 }  // namespace acclaim::telemetry

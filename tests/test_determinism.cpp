@@ -6,14 +6,22 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "benchdata/point.hpp"
 #include "collectives/types.hpp"
 #include "core/acquisition.hpp"
+#include "core/env.hpp"
 #include "core/model.hpp"
+#include "core/pipeline.hpp"
+#include "core/scheduler.hpp"
 #include "ml/forest.hpp"
+#include "simnet/machine.hpp"
+#include "simnet/topology.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -192,6 +200,131 @@ TEST(GoldenDeterminism, EmptyCandidateListStaysLegalUntrained) {
   const core::CollectiveModel untrained;
   EXPECT_TRUE(untrained.jackknife_variances({}).empty());
   EXPECT_EQ(untrained.cumulative_variance({}), 0.0);
+}
+
+/// Exact bit pattern of a double: the byte-compare primitive for values
+/// where even 1-ulp drift across thread counts must fail the test.
+std::string hex_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  std::ostringstream os;
+  os << std::hex << bits;
+  return os.str();
+}
+
+simnet::MachineConfig golden_machine() {
+  simnet::MachineConfig m;
+  m.total_nodes = 64;
+  m.nodes_per_rack = 4;
+  m.racks_per_pair = 2;
+  return m;
+}
+
+/// A placed batch over the whole allocation: three co-runnable benchmarks of
+/// different sizes plus their scheduler inputs.
+std::vector<bench::BenchmarkPoint> golden_pool() {
+  std::vector<bench::BenchmarkPoint> pool;
+  std::size_t ai = 0;
+  const auto algorithms = coll::algorithms_for(coll::Collective::Bcast);
+  for (int nodes : {8, 4, 2, 4, 8, 2}) {
+    bench::BenchmarkPoint p;
+    p.scenario.collective = coll::Collective::Bcast;
+    p.scenario.nnodes = nodes;
+    p.scenario.ppn = 4;
+    p.scenario.msg_bytes = 1024u << (ai % 4);
+    p.algorithm = algorithms[ai % algorithms.size()];
+    pool.push_back(p);
+    ++ai;
+  }
+  return pool;
+}
+
+/// Byte-fingerprint of one planned-and-measured batch: every scheduler
+/// decision, every predicted cost, and every simulated measurement.
+std::string batch_fingerprint(int threads) {
+  util::set_global_threads(threads);
+  const simnet::Topology topo(golden_machine());
+  std::vector<int> ids(32);
+  for (int i = 0; i < 32; ++i) {
+    ids[static_cast<std::size_t>(i)] = i;
+  }
+  const simnet::Allocation alloc(ids);
+  core::LiveEnvironment env(topo, alloc, /*job_seed=*/17);
+
+  const std::vector<bench::BenchmarkPoint> pool = golden_pool();
+  std::vector<std::size_t> ranked(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    ranked[i] = i;
+  }
+  const core::CollectionScheduler scheduler;
+  const core::CollectionBatch batch =
+      scheduler.plan(pool, ranked, topo, alloc, env.solo_cost_oracle());
+  const std::vector<bench::Measurement> ms = env.measure_scheduled(batch.items);
+
+  std::ostringstream os;
+  for (std::size_t i = 0; i < batch.items.size(); ++i) {
+    os << batch.items[i].point.to_string() << "@" << batch.items[i].first_node << ":"
+       << hex_bits(batch.predicted_us[i]) << ";";
+  }
+  os << "makespan=" << hex_bits(batch.predicted_makespan_us)
+     << ",longest=" << batch.predicted_longest << "|";
+  for (const bench::Measurement& m : ms) {
+    os << hex_bits(m.mean_us) << "," << hex_bits(m.stddev_us) << "," << m.iterations << ","
+       << hex_bits(m.collect_cost_s) << ";";
+  }
+  os << "clock=" << hex_bits(env.clock_s());
+  return os.str();
+}
+
+TEST(GoldenDeterminism, ScheduledBatchBitwiseIdenticalAcrossThreads) {
+  ThreadGuard guard;
+  const std::string golden = batch_fingerprint(1);
+  // The batch actually exercises the parallel paths (several items).
+  EXPECT_GT(golden.size(), 100u);
+  for (int threads : kThreadCounts) {
+    EXPECT_EQ(batch_fingerprint(threads), golden) << "threads=" << threads;
+  }
+}
+
+/// Byte-fingerprint of a full tune-job run: allocation, per-collective
+/// training trajectory, the simulated collection clock, and the generated
+/// selection-rule document (which embeds every trained model's decisions).
+std::string tune_job_fingerprint(int threads) {
+  util::set_global_threads(threads);
+  core::ActiveLearnerConfig learner;
+  learner.forest.n_trees = 24;
+  learner.max_points = 48;
+  core::AcclaimPipeline pipeline(golden_machine(), learner);
+  core::JobSpec spec;
+  spec.collectives = {coll::Collective::Bcast};
+  spec.nnodes = 8;
+  spec.ppn = 4;
+  spec.min_msg = 64;
+  spec.max_msg = 16 * 1024;
+  spec.job_seed = 9;
+  spec.machine_busy_fraction = 0.2;
+  const core::PipelineResult r = pipeline.run(spec);
+
+  std::ostringstream os;
+  for (int i = 0; i < r.allocation.num_nodes(); ++i) {
+    os << r.allocation.node(i) << ",";
+  }
+  os << "|";
+  for (const core::CollectiveTrainingSummary& t : r.training) {
+    os << coll::collective_name(t.collective) << ":" << t.points << "," << t.iterations << ","
+       << hex_bits(t.train_time_s) << "," << t.converged << "," << t.max_batch << ";";
+  }
+  os << "total=" << hex_bits(r.total_training_s) << "|" << r.config.dump();
+  return os.str();
+}
+
+TEST(GoldenDeterminism, FullTuneJobBitwiseIdenticalAcrossThreads) {
+  ThreadGuard guard;
+  const std::string golden = tune_job_fingerprint(1);
+  EXPECT_GT(golden.size(), 500u);
+  for (int threads : kThreadCounts) {
+    EXPECT_EQ(tune_job_fingerprint(threads), golden) << "threads=" << threads;
+  }
 }
 
 }  // namespace

@@ -5,10 +5,14 @@
 
 #include <atomic>
 #include <cmath>
+#include <tuple>
 
+#include "benchdata/dataset.hpp"
 #include "collectives/types.hpp"
+#include "core/env.hpp"
 #include "core/model.hpp"
 #include "core/rulegen.hpp"
+#include "core/scheduler.hpp"
 #include "minimpi/cost_executor.hpp"
 #include "minimpi/data_executor.hpp"
 #include "minimpi/schedule.hpp"
@@ -266,6 +270,102 @@ TEST_F(ThreadStress, RepeatedResizeUnderWork) {
                                      [&](std::size_t i) { hits[i].fetch_add(1); });
     for (std::size_t i = 0; i < hits.size(); ++i) {
       ASSERT_EQ(hits[i].load(), 1) << "round=" << round << " i=" << i;
+    }
+  }
+}
+
+TEST_F(ThreadStress, ScheduledBatchesDeterministicUnderRandomPoolsAndThreads) {
+  // Randomized batches through the §IV-D scheduler + LiveEnvironment: the
+  // placements, the parallel predicted-cost scoring, and the concurrently
+  // simulated measurements must all match a single-threaded reference run,
+  // whatever pool composition or thread count the trial draws.
+  util::Rng meta(0x5CED);
+  const simnet::MachineConfig machine = testing_support::small_machine();
+  const simnet::Topology topo(machine);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::uint64_t job_seed = meta.next_u64();
+    std::vector<int> ids(static_cast<std::size_t>(machine.total_nodes));
+    for (int i = 0; i < machine.total_nodes; ++i) {
+      ids[static_cast<std::size_t>(i)] = i;
+    }
+    const simnet::Allocation alloc(ids);
+
+    std::vector<bench::BenchmarkPoint> pool;
+    const auto algorithms = coll::algorithms_for(coll::Collective::Bcast);
+    const int pool_size = 3 + static_cast<int>(meta.uniform_int(0, 5));
+    for (int i = 0; i < pool_size; ++i) {
+      bench::BenchmarkPoint p;
+      p.scenario.collective = coll::Collective::Bcast;
+      p.scenario.nnodes = 1 << meta.uniform_int(1, 3);
+      p.scenario.ppn = 2;
+      p.scenario.msg_bytes = 256u << meta.uniform_int(0, 4);
+      p.algorithm = algorithms[meta.index(algorithms.size())];
+      pool.push_back(p);
+    }
+    std::vector<std::size_t> ranked(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      ranked[i] = i;
+    }
+
+    const core::CollectionScheduler scheduler;
+    // `priced` toggles the predicted-cost reuse path (run_priced) against
+    // the full schedule rebuild (run_with_load); both must produce bitwise
+    // the same measurements.
+    auto run_once = [&](bool priced) {
+      core::LiveEnvironment env(topo, alloc, job_seed);
+      const core::CollectionBatch batch =
+          scheduler.plan(pool, ranked, topo, alloc, env.solo_cost_oracle());
+      const auto ms = priced ? env.measure_scheduled(batch.items, batch.predicted_us)
+                             : env.measure_scheduled(batch.items);
+      return std::make_tuple(batch, ms, env.clock_s());
+    };
+
+    util::set_global_threads(1);
+    const auto [ref_batch, ref_ms, ref_clock] = run_once(false);
+    ASSERT_FALSE(ref_batch.items.empty());
+
+    const int threads = 2 + static_cast<int>(meta.uniform_int(0, 6));
+    util::set_global_threads(threads);
+    const auto [batch, ms, clock] = run_once(true);
+    ASSERT_EQ(batch.items.size(), ref_batch.items.size()) << "trial=" << trial;
+    for (std::size_t i = 0; i < batch.items.size(); ++i) {
+      ASSERT_EQ(batch.items[i].first_node, ref_batch.items[i].first_node);
+      ASSERT_EQ(batch.consumed[i], ref_batch.consumed[i]);
+      ASSERT_EQ(batch.predicted_us[i], ref_batch.predicted_us[i])
+          << "trial=" << trial << " threads=" << threads << " slot=" << i;
+      ASSERT_EQ(ms[i].mean_us, ref_ms[i].mean_us);
+      ASSERT_EQ(ms[i].stddev_us, ref_ms[i].stddev_us);
+      ASSERT_EQ(ms[i].collect_cost_s, ref_ms[i].collect_cost_s);
+    }
+    ASSERT_EQ(batch.predicted_makespan_us, ref_batch.predicted_makespan_us);
+    ASSERT_EQ(batch.predicted_longest, ref_batch.predicted_longest);
+    ASSERT_EQ(clock, ref_clock) << "trial=" << trial << " threads=" << threads;
+  }
+}
+
+TEST_F(ThreadStress, PrecollectDeterministicAcrossThreads) {
+  // The dataset builder fans the simulated runs out on the pool; the saved
+  // measurements must be bitwise-equal to a sequential collection.
+  const simnet::MachineConfig machine = testing_support::small_machine();
+  bench::FeatureGrid grid;
+  grid.nodes = {2, 4};
+  grid.ppns = {2};
+  grid.msgs = {256, 4096};
+
+  util::set_global_threads(1);
+  const bench::Dataset ref =
+      bench::precollect(machine, grid, {coll::Collective::Bcast}, 11);
+
+  for (int threads : {2, 8}) {
+    util::set_global_threads(threads);
+    const bench::Dataset ds =
+        bench::precollect(machine, grid, {coll::Collective::Bcast}, 11);
+    const auto points = ref.points();
+    ASSERT_EQ(ds.points().size(), points.size()) << "threads=" << threads;
+    for (const bench::BenchmarkPoint& p : points) {
+      ASSERT_EQ(ds.at(p).mean_us, ref.at(p).mean_us) << "threads=" << threads;
+      ASSERT_EQ(ds.at(p).stddev_us, ref.at(p).stddev_us);
+      ASSERT_EQ(ds.at(p).collect_cost_s, ref.at(p).collect_cost_s);
     }
   }
 }

@@ -121,6 +121,35 @@ TEST(Allocation, TouchCounts) {
   EXPECT_EQ(Allocation({0, 4}).pairs_touched(topo), 2);
 }
 
+TEST(Allocation, RegionFootprints) {
+  // 8 nodes, 2 per rack, 2 racks per pair: nodes {0,1} rack 0, {2,3} rack 1
+  // (same pair), {4,5} rack 2, {6,7} rack 3.
+  const Topology topo(tiny_test_machine());
+  const Allocation a({0, 1, 2, 3, 4, 5, 6, 7});
+  const RegionFootprint first = a.footprint(topo, 0, 3);  // nodes 0..2
+  EXPECT_EQ(first.racks, (std::set<int>{0, 1}));
+  EXPECT_EQ(first.pairs, (std::set<int>{0}));
+  const RegionFootprint second = a.footprint(topo, 4, 2);  // nodes 4..5
+  EXPECT_EQ(second.racks, (std::set<int>{2}));
+  EXPECT_FALSE(first.shares_rack_with(second));
+  EXPECT_FALSE(first.shares_pair_with(second));
+  const RegionFootprint overlap = a.footprint(topo, 2, 3);  // nodes 2..4
+  EXPECT_TRUE(first.shares_rack_with(overlap));
+  EXPECT_TRUE(overlap.shares_pair_with(second));
+  EXPECT_THROW(a.footprint(topo, 6, 3), acclaim::InvalidArgument);
+  EXPECT_THROW(a.footprint(topo, -1, 1), acclaim::InvalidArgument);
+}
+
+TEST(Machine, MaxRackDisjointBenchmarks) {
+  const MachineConfig m = tiny_test_machine();  // 8 nodes, 2/rack -> 4 racks
+  EXPECT_EQ(max_rack_disjoint_benchmarks(m, 1), 4);
+  EXPECT_EQ(max_rack_disjoint_benchmarks(m, 2), 4);
+  EXPECT_EQ(max_rack_disjoint_benchmarks(m, 3), 2);  // each needs 2 racks
+  EXPECT_EQ(max_rack_disjoint_benchmarks(m, 8), 1);
+  EXPECT_EQ(max_rack_disjoint_benchmarks(m, 9), 0);  // doesn't fit at all
+  EXPECT_THROW(max_rack_disjoint_benchmarks(m, 0), acclaim::InvalidArgument);
+}
+
 TEST(Scheduler, AllocatesLowestFreeNodes) {
   const Topology topo(tiny_test_machine());
   JobScheduler sched(topo, 0.0, Rng(1));

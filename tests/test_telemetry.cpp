@@ -446,4 +446,75 @@ TEST_F(TelemetryTest, RenderSamplesLongTrajectoriesKeepingEndpoints) {
   EXPECT_LT(std::count(text.begin(), text.end(), '\n'), 20);
 }
 
+// --- chrome://tracing export ---------------------------------------------
+
+TEST_F(TelemetryTest, ChromeTraceConvertsPhasesAndBatchedRunsToSpans) {
+  std::vector<TraceEvent> events;
+  TraceEvent phase = make_event(EventKind::Phase, "train:bcast");
+  phase.t_wall_ms = 100.0;
+  phase.fields["wall_ms"] = 40.0;
+  phase.fields["sim_s"] = 3.5;
+  events.push_back(std::move(phase));
+  TraceEvent run = make_event(EventKind::BenchmarkRun, "bcast");
+  run.t_wall_ms = 90.0;
+  run.fields["slot"] = 2;
+  run.fields["wall_ms"] = 5.0;
+  events.push_back(std::move(run));
+  TraceEvent refit = make_event(EventKind::ModelRefit, "bcast");
+  refit.t_wall_ms = 95.0;
+  events.push_back(std::move(refit));
+
+  const util::Json doc = telemetry::chrome_trace_json(events);
+  ASSERT_TRUE(doc.is_object());
+  const util::JsonArray& tev = doc.as_object().at("traceEvents").as_array();
+  ASSERT_EQ(tev.size(), 3u);
+
+  const util::JsonObject& p = tev[0].as_object();
+  EXPECT_EQ(p.at("name").as_string(), "train:bcast");
+  EXPECT_EQ(p.at("ph").as_string(), "X");
+  // Span ends at the event timestamp: ts = (100 - 40) ms in microseconds.
+  EXPECT_DOUBLE_EQ(p.at("ts").as_number(), 60000.0);
+  EXPECT_DOUBLE_EQ(p.at("dur").as_number(), 40000.0);
+  EXPECT_EQ(p.at("tid").as_int(), 0);
+  EXPECT_DOUBLE_EQ(p.at("args").as_object().at("sim_s").as_number(), 3.5);
+
+  const util::JsonObject& r = tev[1].as_object();
+  EXPECT_EQ(r.at("ph").as_string(), "X");
+  EXPECT_EQ(r.at("tid").as_int(), 3);  // slot 2 -> lane 3 (lane 0 is phases)
+  EXPECT_DOUBLE_EQ(r.at("ts").as_number(), 85000.0);
+  EXPECT_DOUBLE_EQ(r.at("dur").as_number(), 5000.0);
+
+  const util::JsonObject& m = tev[2].as_object();
+  EXPECT_EQ(m.at("ph").as_string(), "i");
+  EXPECT_EQ(m.at("tid").as_int(), 0);
+  EXPECT_DOUBLE_EQ(m.at("ts").as_number(), 95000.0);
+}
+
+TEST_F(TelemetryTest, ChromeTraceClampsSpansThatPredateTheEpoch) {
+  TraceEvent phase = make_event(EventKind::Phase, "p");
+  phase.t_wall_ms = 5.0;
+  phase.fields["wall_ms"] = 9.0;  // longer than the time since epoch
+  const util::Json doc = telemetry::chrome_trace_json({phase});
+  const util::JsonObject& p = doc.as_object().at("traceEvents").as_array()[0].as_object();
+  EXPECT_DOUBLE_EQ(p.at("ts").as_number(), 0.0);
+}
+
+TEST_F(TelemetryTest, WriteChromeTraceRoundTripsThroughTheParser) {
+  const std::string path = "chrome_trace_test.json";
+  telemetry::write_chrome_trace(synthetic_trace(), path);
+  const util::Json doc = util::Json::parse_file(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(doc.is_object());
+  const util::JsonArray& tev = doc.as_object().at("traceEvents").as_array();
+  EXPECT_EQ(tev.size(), synthetic_trace().size());
+  for (const util::Json& e : tev) {
+    const util::JsonObject& o = e.as_object();
+    EXPECT_TRUE(o.contains("name"));
+    EXPECT_TRUE(o.contains("ph"));
+    EXPECT_TRUE(o.contains("ts"));
+    EXPECT_TRUE(o.contains("pid"));
+    EXPECT_TRUE(o.contains("tid"));
+  }
+}
+
 }  // namespace

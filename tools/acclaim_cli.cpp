@@ -112,9 +112,10 @@ int cmd_collect(const cli::Args& args) {
   return 0;
 }
 
-// Shared --trace-out / --metrics-out / --threads handling for the training
-// commands. open_telemetry must run before any instrumented work;
-// finish_telemetry flushes the metrics snapshot and closes the trace stream
+// Shared --trace-out / --metrics-out / --chrome-out / --threads handling for
+// the training commands. open_telemetry must run before any instrumented
+// work; finish_telemetry flushes the metrics snapshot, closes the trace
+// stream, and converts the run's events to a chrome://tracing document
 // afterwards.
 void open_telemetry(const cli::Args& args) {
   if (args.has("threads")) {
@@ -122,6 +123,11 @@ void open_telemetry(const cli::Args& args) {
   }
   if (args.has("trace-out")) {
     telemetry::tracer().open_stream(args.get("trace-out"));
+  }
+  if (args.has("chrome-out")) {
+    // The chrome export folds the in-memory ring, so it works with or
+    // without a JSON-lines stream destination.
+    telemetry::tracer().enable_ring(1 << 20);
   }
 }
 
@@ -131,6 +137,11 @@ void finish_telemetry(const cli::Args& args) {
     telemetry::publish_thread_pool_metrics();
     telemetry::metrics().dump_file(path);
     std::cout << "wrote metrics to " << path << "\n";
+  }
+  if (args.has("chrome-out")) {
+    const std::string path = args.get("chrome-out");
+    telemetry::write_chrome_trace(telemetry::tracer().ring_snapshot(), path);
+    std::cout << "wrote chrome trace to " << path << " (open via chrome://tracing)\n";
   }
   if (args.has("trace-out")) {
     telemetry::tracer().close_stream();
@@ -237,6 +248,11 @@ int cmd_report(const cli::Args& args) {
     }
     const telemetry::RunReport report = telemetry::build_report(events);
     telemetry::render_report(report, std::cout, args.get_int("rows", 12));
+    if (args.has("chrome-out")) {
+      const std::string out = args.get("chrome-out");
+      telemetry::write_chrome_trace(events, out);
+      std::cout << "wrote chrome trace to " << out << " (open via chrome://tracing)\n";
+    }
   }
   if (have_metrics) {
     if (have_trace) {
@@ -318,13 +334,16 @@ commands:
                   --dataset FILE [--collective C] [--model OUT] [--rules OUT]
                   [--trees N] [--max-points N] [--seed K] [--threads N]
                   [--trace-out FILE.jsonl] [--metrics-out FILE.json]
+                  [--chrome-out FILE.json]   (chrome://tracing timeline)
   tune-job      full pipeline on a simulated job (train + rule file)
                   [--machine theta] [--nodes N] [--ppn P] [--collectives a,b]
                   [--rules OUT] [--max-points N] [--seed K] [--threads N]
                   [--trace-out FILE.jsonl] [--metrics-out FILE.json]
+                  [--chrome-out FILE.json]   (chrome://tracing timeline)
   report        render a run report from a trace and/or metrics snapshot
                   TRACE.jsonl | --trace FILE [--rows N]
                   [--metrics FILE.json]   (histogram p50/p95/p99 summaries)
+                  [--chrome-out FILE.json]   (convert the trace for chrome://tracing)
   select        resolve a scenario through a rule file
                   --rules FILE --collective C [--nodes N] [--ppn P] [--msg SIZE]
   inspect       summarize a dataset CSV
@@ -355,13 +374,13 @@ int main(int argc, char** argv) {
       return cmd_train(cli::Args(argc - 2, argv + 2,
                                  {"dataset", "collective", "model", "rules", "trees",
                                   "max-points", "seed", "threads", "trace-out",
-                                  "metrics-out"}));
+                                  "metrics-out", "chrome-out"}));
     }
     if (cmd == "tune-job") {
       return cmd_tune_job(cli::Args(argc - 2, argv + 2,
                                     {"machine", "nodes", "ppn", "collectives", "min-msg",
                                      "max-msg", "rules", "trees", "max-points", "seed",
-                                     "threads", "trace-out", "metrics-out"}));
+                                     "threads", "trace-out", "metrics-out", "chrome-out"}));
     }
     if (cmd == "report") {
       // Accept the trace path positionally (`acclaim report t.jsonl`) or
@@ -372,7 +391,7 @@ int main(int argc, char** argv) {
         positional = rest.front();
         rest.erase(rest.begin());
       }
-      cli::Args args(static_cast<int>(rest.size()), rest.data(), {"trace", "rows", "metrics"});
+      cli::Args args(static_cast<int>(rest.size()), rest.data(), {"trace", "rows", "metrics", "chrome-out"});
       if (!positional.empty() && args.has("trace")) {
         throw InvalidArgument("report takes either a positional trace path or --trace, not both");
       }
@@ -384,7 +403,7 @@ int main(int argc, char** argv) {
         for (char* a : rest) {
           fwd.push_back(a);
         }
-        args = cli::Args(static_cast<int>(fwd.size()), fwd.data(), {"trace", "rows", "metrics"});
+        args = cli::Args(static_cast<int>(fwd.size()), fwd.data(), {"trace", "rows", "metrics", "chrome-out"});
       }
       return cmd_report(args);
     }

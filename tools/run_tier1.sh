@@ -42,9 +42,12 @@ run_tsan() {
   echo "=== TSan configuration: determinism + stress suites ==="
   cmake -B "$tsan_dir" -S "$repo_root" -DACCLAIM_SANITIZE=thread
   cmake --build "$tsan_dir" --target test_thread_pool test_determinism test_properties -j "$jobs"
+  # --no-tests=error: a label filter that matches nothing must fail loudly,
+  # not report success with zero tests run (a renamed label would otherwise
+  # silently disable the race gate).
   env -u ACCLAIM_THREADS \
     TSAN_OPTIONS="suppressions=$repo_root/tools/tsan.supp ${TSAN_OPTIONS:-}" \
-    ctest --test-dir "$tsan_dir" -L "determinism|stress" \
+    ctest --test-dir "$tsan_dir" -L "determinism|stress" --no-tests=error \
     --output-on-failure -j "$jobs"
 }
 
@@ -63,7 +66,7 @@ cmake_flags=()
 
 cmake -B "$repo_root/$build_dir" -S "$repo_root" "${cmake_flags[@]}"
 cmake --build "$repo_root/$build_dir" -j "$jobs"
-ctest --test-dir "$repo_root/$build_dir" --output-on-failure -j "$jobs"
+ctest --test-dir "$repo_root/$build_dir" --no-tests=error --output-on-failure -j "$jobs"
 
 if [[ "$tsan_mode" == "after" && -z "$sanitize" ]]; then
   run_tsan
