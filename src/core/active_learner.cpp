@@ -87,13 +87,21 @@ TrainingResult ActiveLearner::run() {
         CollectionBatch batch = scheduler.plan(pool, ranked, *env_.topology(),
                                                *env_.allocation(), env_.solo_cost_oracle());
         if (!batch.items.empty()) {
-          // Apply the non-P2 cadence across scheduled items (§IV-B).
-          for (auto& item : batch.items) {
+          // Apply the non-P2 cadence across scheduled items (§IV-B). The
+          // substitution changes the message size *after* plan() priced the
+          // placement, so the slot's predicted cost no longer describes the
+          // point; zeroing it forces the environment to rebuild the schedule
+          // for the substituted size instead of reusing the stale price.
+          for (std::size_t i = 0; i < batch.items.size(); ++i) {
+            auto& item = batch.items[i];
             ++nonp2_counter;
             if (config_.parallel_nonp2_cadence > 0 &&
                 nonp2_counter % config_.parallel_nonp2_cadence == 0) {
               if (const auto m = env_.nonp2_msg_near(item.point.scenario.msg_bytes, rng)) {
                 item.point.scenario.msg_bytes = *m;
+                if (i < batch.predicted_us.size()) {
+                  batch.predicted_us[i] = 0.0;
+                }
               }
             }
           }

@@ -191,8 +191,12 @@ std::vector<bench::Measurement> LiveEnvironment::measure_scheduled(
     // An interference-free item whose placement the scheduler already priced
     // reuses that schedule time (run_with_load with empty flow maps computes
     // exactly predicted_solo_us, so the measurements are bitwise-identical);
-    // rebuilding the schedule would double the batched path's host cost.
-    if (!predicted.empty() && rack_flows[i].empty() && pair_flows[i].empty()) {
+    // rebuilding the schedule would double the batched path's host cost. A
+    // non-positive prediction means "no usable hint" — either the caller
+    // invalidated the slot after mutating the point (non-P2 substitution) or
+    // a degenerate placement priced to zero — and takes the rebuild path.
+    if (!predicted.empty() && predicted[i] > 0.0 && rack_flows[i].empty() &&
+        pair_flows[i].empty()) {
       out[i] = mb_.run_priced(batch[i].point, predicted[i], rngs[i]);
     } else {
       const simnet::Allocation sub =

@@ -58,8 +58,11 @@ class TuningEnvironment {
   /// (CollectionBatch::predicted_us, parallel to `batch`, or empty when the
   /// plan was unscored). Environments that price schedules (LiveEnvironment)
   /// reuse the prediction instead of rebuilding the schedule — bitwise the
-  /// same measurements, roughly half the host work. The default forwards to
-  /// the single-argument overload, ignoring the hint.
+  /// same measurements, roughly half the host work. A slot whose prediction
+  /// is <= 0 carries no usable hint (the caller mutated the point after
+  /// plan() priced it, or the placement priced degenerate) and is rebuilt
+  /// from the point. The default forwards to the single-argument overload,
+  /// ignoring the hint.
   virtual std::vector<bench::Measurement> measure_scheduled(
       const std::vector<ScheduledBenchmark>& batch,
       const std::vector<double>& predicted_solo_us);

@@ -212,11 +212,14 @@ util::Json chrome_trace_json(const std::vector<TraceEvent>& events) {
     const bool span = wall_ms >= 0.0 && (ev.kind == EventKind::Phase || batched);
     if (span) {
       // Durations are recorded at scope exit, so the span *ends* at the
-      // event timestamp; clamp at the epoch for events whose duration
-      // predates tracer startup.
+      // event timestamp; clamp the start at the epoch for events whose
+      // duration predates tracer startup, shrinking the duration so the span
+      // still ends at the recorded event time.
       e["ph"] = "X";
-      e["ts"] = std::max(0.0, (ev.t_wall_ms - wall_ms) * 1000.0);
-      e["dur"] = wall_ms * 1000.0;
+      const double end_us = ev.t_wall_ms * 1000.0;
+      const double start_us = std::max(0.0, end_us - wall_ms * 1000.0);
+      e["ts"] = start_us;
+      e["dur"] = end_us - start_us;
     } else {
       e["ph"] = "i";
       e["ts"] = ev.t_wall_ms * 1000.0;

@@ -497,6 +497,9 @@ TEST_F(TelemetryTest, ChromeTraceClampsSpansThatPredateTheEpoch) {
   const util::Json doc = telemetry::chrome_trace_json({phase});
   const util::JsonObject& p = doc.as_object().at("traceEvents").as_array()[0].as_object();
   EXPECT_DOUBLE_EQ(p.at("ts").as_number(), 0.0);
+  // The duration shrinks with the clamp: the span still *ends* at the
+  // recorded event time (5 ms), not 4 ms past it.
+  EXPECT_DOUBLE_EQ(p.at("dur").as_number(), 5000.0);
 }
 
 TEST_F(TelemetryTest, WriteChromeTraceRoundTripsThroughTheParser) {
