@@ -32,8 +32,8 @@ namespace {
 
 double run_schedule_us(const simnet::NetworkModel& net, const BenchmarkPoint& point,
                        const simnet::Allocation& alloc,
-                       const std::unordered_map<int, int>& rack_flows,
-                       const std::unordered_map<int, int>& pair_flows) {
+                       const minimpi::FlowMap& rack_flows,
+                       const minimpi::FlowMap& pair_flows) {
   const Scenario& s = point.scenario;
   acclaim::require(alloc.num_nodes() >= s.nnodes,
                    "allocation too small for benchmark: " + s.to_string());
@@ -64,8 +64,8 @@ Measurement Microbenchmark::run(const BenchmarkPoint& point, const simnet::Alloc
 
 Measurement Microbenchmark::run_with_load(const BenchmarkPoint& point,
                                           const simnet::Allocation& alloc,
-                                          const std::unordered_map<int, int>& rack_flows,
-                                          const std::unordered_map<int, int>& pair_flows,
+                                          const minimpi::FlowMap& rack_flows,
+                                          const minimpi::FlowMap& pair_flows,
                                           util::Rng& rng) const {
   const auto host_start = std::chrono::steady_clock::now();
   const double base_us = run_schedule_us(net_, point, alloc, rack_flows, pair_flows);

@@ -8,9 +8,9 @@
 #pragma once
 
 #include <chrono>
-#include <unordered_map>
 
 #include "benchdata/point.hpp"
+#include "minimpi/cost_executor.hpp"
 #include "simnet/allocation.hpp"
 #include "simnet/network.hpp"
 #include "util/rng.hpp"
@@ -56,9 +56,8 @@ class Microbenchmark {
   /// co-scheduled benchmarks (used by the parallel-collection experiments;
   /// congestion inflates the *measured* latency, which is the §III-D hazard).
   Measurement run_with_load(const BenchmarkPoint& point, const simnet::Allocation& alloc,
-                            const std::unordered_map<int, int>& rack_flows,
-                            const std::unordered_map<int, int>& pair_flows,
-                            util::Rng& rng) const;
+                            const minimpi::FlowMap& rack_flows,
+                            const minimpi::FlowMap& pair_flows, util::Rng& rng) const;
 
   /// Deterministic single-execution time of the schedule (no noise, no
   /// launch overhead) in microseconds — the model-truth latency.

@@ -149,8 +149,8 @@ std::vector<bench::Measurement> LiveEnvironment::measure_scheduled(
             "scheduled benchmark exceeds the job allocation");
     feet[i] = alloc_.footprint(topo_, item.first_node, item.point.scenario.nnodes);
   }
-  std::vector<std::unordered_map<int, int>> rack_flows(batch.size());
-  std::vector<std::unordered_map<int, int>> pair_flows(batch.size());
+  std::vector<minimpi::FlowMap> rack_flows(batch.size());
+  std::vector<minimpi::FlowMap> pair_flows(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     for (std::size_t j = 0; j < batch.size(); ++j) {
       if (j == i) {

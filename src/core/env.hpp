@@ -10,9 +10,9 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "benchdata/dataset.hpp"
@@ -106,8 +106,10 @@ class DatasetEnvironment final : public TuningEnvironment {
 
  private:
   const bench::Dataset& dataset_;
-  // message sizes per collective, cached sorted
-  std::unordered_map<int, std::vector<std::uint64_t>> msgs_;
+  // Message sizes per collective, cached sorted. Ordered map: the non-P2
+  // candidate pool is built by iterating this container, so its traversal
+  // order must not depend on hashing (det-unordered-iter).
+  std::map<int, std::vector<std::uint64_t>> msgs_;
 };
 
 struct LiveEnvironmentConfig {

@@ -30,8 +30,7 @@ CostExecutor::CostExecutor(const simnet::NetworkModel& net, const RankMap& ranks
       rack_flows_(static_cast<std::size_t>(net.topology().num_racks())),
       pair_flows_(static_cast<std::size_t>(net.topology().num_pairs())) {}
 
-void CostExecutor::set_external_load(const std::unordered_map<int, int>& rack_flows,
-                                     const std::unordered_map<int, int>& pair_flows) {
+void CostExecutor::set_external_load(const FlowMap& rack_flows, const FlowMap& pair_flows) {
   ext_rack_flows_ = rack_flows;
   ext_pair_flows_ = pair_flows;
 }

@@ -15,7 +15,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "minimpi/schedule.hpp"
@@ -23,6 +23,14 @@
 #include "simnet/network.hpp"
 
 namespace acclaim::minimpi {
+
+/// Extra concurrent flows per rack uplink / per rack pair, keyed by rack (or
+/// pair) id. Ordered so that every loop over external load visits entries in
+/// a fixed order regardless of insertion history — these maps cross the
+/// parallel-collection boundary and feed accumulated contention, where an
+/// unordered container's bucket order would be a determinism hazard
+/// (acclaim_lint check `det-unordered-iter`).
+using FlowMap = std::map<int, int>;
 
 /// Maps ranks to machine nodes (block mapping over an allocation).
 class RankMap {
@@ -55,8 +63,7 @@ class CostExecutor final : public RoundSink {
   /// the network concurrently (used to model congestion between co-scheduled
   /// benchmarks). Loads are expressed as extra concurrent flows per rack
   /// uplink / per pair.
-  void set_external_load(const std::unordered_map<int, int>& rack_flows,
-                         const std::unordered_map<int, int>& pair_flows);
+  void set_external_load(const FlowMap& rack_flows, const FlowMap& pair_flows);
 
  private:
   /// Sparse per-round counter over a dense id space: O(1) increments and
@@ -87,8 +94,8 @@ class CostExecutor final : public RoundSink {
   const RankMap& ranks_;
   double elapsed_us_ = 0.0;
   std::size_t rounds_ = 0;
-  std::unordered_map<int, int> ext_rack_flows_;
-  std::unordered_map<int, int> ext_pair_flows_;
+  FlowMap ext_rack_flows_;
+  FlowMap ext_pair_flows_;
   FlowCounter node_out_;
   FlowCounter node_in_;
   FlowCounter rack_flows_;

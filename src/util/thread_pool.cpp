@@ -136,6 +136,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
         for (std::size_t i = lo; i < hi; ++i) {
           (*st.body)(i);
         }
+        // Stores the first exception; parallel_for rethrows it on the
+        // calling thread after the loop quiesces. acclaim-lint: allow(hyg-catch-log)
       } catch (...) {
         std::lock_guard lock(st.emu);
         if (!st.eptr) {

@@ -132,7 +132,7 @@ TEST_F(MicrobenchTest, ExternalLoadInflatesMeasurement) {
   util::Rng rng1(1);
   util::Rng rng2(1);
   const bench::Measurement calm = mb.run(p, alloc_, rng1);
-  std::unordered_map<int, int> rack_flows;
+  minimpi::FlowMap rack_flows;
   for (int r = 0; r < topo_.num_racks(); ++r) {
     rack_flows[r] = 32;
   }

@@ -1,0 +1,385 @@
+// Tests for tools/lint — the project-specific determinism/correctness
+// static-analysis pass. Each check gets a positive (fires) and a negative
+// (stays quiet on the idiomatic pattern) fixture, plus suppression-comment
+// and baseline-ratchet behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lint/lint.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+using namespace acclaim;
+using lint::Finding;
+using lint::lint_source;
+using lint::LintOptions;
+
+namespace {
+
+std::vector<std::string> ids(const std::vector<Finding>& findings) {
+  std::vector<std::string> out;
+  out.reserve(findings.size());
+  for (const Finding& f : findings) {
+    out.push_back(f.check);
+  }
+  return out;
+}
+
+bool has_check(const std::vector<Finding>& findings, const std::string& id) {
+  const std::vector<std::string> v = ids(findings);
+  return std::find(v.begin(), v.end(), id) != v.end();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// det-rand / det-wallclock and layer scoping
+// ---------------------------------------------------------------------------
+
+TEST(LintDetLayer, FlagsRandomDeviceInCore) {
+  const std::string src = "void f() { std::random_device rd; (void)rd; }\n";
+  const auto findings = lint_source("src/core/x.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "det-rand");
+  EXPECT_EQ(findings[0].severity, lint::Severity::Error);
+  EXPECT_EQ(findings[0].line, 1u);
+}
+
+TEST(LintDetLayer, FlagsLibcRandAndEngines) {
+  EXPECT_TRUE(has_check(lint_source("src/ml/x.cpp", "int f() { return rand(); }\n"),
+                        "det-rand"));
+  EXPECT_TRUE(has_check(
+      lint_source("src/simnet/x.cpp", "void f() { std::mt19937 gen(42); (void)gen; }\n"),
+      "det-rand"));
+}
+
+TEST(LintDetLayer, FlagsWallClock) {
+  EXPECT_TRUE(has_check(
+      lint_source("src/benchdata/x.cpp",
+                  "auto f() { return std::chrono::system_clock::now(); }\n"),
+      "det-wallclock"));
+  EXPECT_TRUE(has_check(
+      lint_source("src/collectives/x.cpp", "long f() { return time(nullptr); }\n"),
+      "det-wallclock"));
+}
+
+TEST(LintDetLayer, SteadyClockIsAllowed) {
+  const auto findings = lint_source(
+      "src/ml/x.cpp", "auto f() { return std::chrono::steady_clock::now(); }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintDetLayer, NonDetLayersMayReadTheClock) {
+  const std::string src = "auto f() { return std::chrono::system_clock::now(); }\n";
+  EXPECT_TRUE(lint_source("src/util/x.cpp", src).empty());
+  EXPECT_TRUE(lint_source("src/telemetry/x.cpp", src).empty());
+  EXPECT_TRUE(lint_source("tools/x.cpp", src).empty());
+}
+
+TEST(LintDetLayer, NamesInStringsAndCommentsDoNotFire) {
+  const std::string src =
+      "// std::random_device in a comment\n"
+      "const char* s = \"system_clock and rand()\";\n"
+      "/* time(nullptr) */\n";
+  EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());
+}
+
+TEST(LintDetLayer, PreprocessorLinesDoNotFire) {
+  EXPECT_TRUE(lint_source("src/core/x.cpp", "#include <random>\n#include <ctime>\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// det-unordered-iter
+// ---------------------------------------------------------------------------
+
+TEST(LintUnorderedIter, FlagsRangeForOverUnorderedMember) {
+  const std::string src =
+      "std::unordered_map<int, int> m_;\n"
+      "int f() { int s = 0; for (const auto& [k, v] : m_) { s += v; } return s; }\n";
+  const auto findings = lint_source("src/core/x.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "det-unordered-iter");
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(LintUnorderedIter, CompanionHeaderDeclarationsAreVisible) {
+  LintOptions opt;
+  opt.companion_header = "class C { std::unordered_map<int, int> flows_; };\n";
+  const std::string src = "int C::f() { int s = 0; for (auto& [k, v] : flows_) s += v; return s; }\n";
+  EXPECT_TRUE(has_check(lint_source("src/minimpi/x.cpp", src, opt), "det-unordered-iter"));
+}
+
+TEST(LintUnorderedIter, OrderedMapIsFine) {
+  const std::string src =
+      "std::map<int, int> m_;\n"
+      "int f() { int s = 0; for (const auto& [k, v] : m_) { s += v; } return s; }\n";
+  EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());
+}
+
+TEST(LintUnorderedIter, TestsAreOutOfScope) {
+  const std::string src =
+      "std::unordered_map<int, int> m;\n"
+      "void f() { for (auto& [k, v] : m) { (void)k; (void)v; } }\n";
+  EXPECT_TRUE(lint_source("tests/test_x.cpp", src).empty());
+}
+
+// ---------------------------------------------------------------------------
+// det-rng-ref-capture / par-shared-write / par-float-reduction
+// ---------------------------------------------------------------------------
+
+TEST(LintParallel, FlagsByRefRngAcrossParallelFor) {
+  const std::string src =
+      "void f(util::ThreadPool& pool, util::Rng& rng, std::vector<double>& out) {\n"
+      "  pool.parallel_for(0, out.size(), [&](std::size_t i) {\n"
+      "    out[i] = rng.uniform();\n"
+      "  });\n"
+      "}\n";
+  const auto findings = lint_source("src/core/x.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "det-rng-ref-capture");
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(LintParallel, PreDerivedPerItemRngsAreFine) {
+  const std::string src =
+      "void f(util::ThreadPool& pool, std::vector<util::Rng>& rngs,\n"
+      "       std::vector<double>& out) {\n"
+      "  pool.parallel_for(0, out.size(), [&](std::size_t i) {\n"
+      "    out[i] = rngs[i].uniform();\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());
+}
+
+TEST(LintParallel, RngStreamInsideBodyIsFine) {
+  const std::string src =
+      "void f(util::ThreadPool& pool, std::vector<double>& out) {\n"
+      "  pool.parallel_for(0, out.size(), [&](std::size_t i) {\n"
+      "    util::Rng item_rng = util::Rng::stream(7, i);\n"
+      "    out[i] = item_rng.uniform();\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());
+}
+
+TEST(LintParallel, FlagsSharedCounterWrite) {
+  const std::string src =
+      "void f(util::ThreadPool& pool, std::vector<int>& v) {\n"
+      "  int done = 0;\n"
+      "  pool.parallel_for(0, v.size(), [&](std::size_t i) {\n"
+      "    v[i] = 1;\n"
+      "    ++done;\n"
+      "  });\n"
+      "}\n";
+  const auto findings = lint_source("src/simnet/x.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "par-shared-write");
+  EXPECT_EQ(findings[0].line, 5u);
+}
+
+TEST(LintParallel, AtomicCounterIsFine) {
+  const std::string src =
+      "void f(util::ThreadPool& pool, std::vector<int>& v) {\n"
+      "  std::atomic<int> done{0};\n"
+      "  pool.parallel_for(0, v.size(), [&](std::size_t i) {\n"
+      "    v[i] = 1;\n"
+      "    ++done;\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/simnet/x.cpp", src).empty());
+}
+
+TEST(LintParallel, SlotWritesAndBodyLocalsAreFine) {
+  const std::string src =
+      "void f(util::ThreadPool& pool, std::vector<double>& out) {\n"
+      "  pool.parallel_for(0, out.size(), [&](std::size_t i) {\n"
+      "    double acc = 0.0;\n"
+      "    acc += 1.0;\n"
+      "    out[i] = acc;\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());
+}
+
+TEST(LintParallel, FlagsFloatReductionDistinctly) {
+  const std::string src =
+      "void f(util::ThreadPool& pool, std::vector<double>& v) {\n"
+      "  double sum = 0.0;\n"
+      "  pool.parallel_for(0, v.size(), [&](std::size_t i) {\n"
+      "    sum += v[i];\n"
+      "  });\n"
+      "}\n";
+  const auto findings = lint_source("src/ml/x.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "par-float-reduction");
+}
+
+TEST(LintParallel, SubmitLambdasAreCoveredToo) {
+  const std::string src =
+      "void f(util::ThreadPool& pool) {\n"
+      "  int hits = 0;\n"
+      "  auto fut = pool.submit([&] { ++hits; });\n"
+      "  fut.get();\n"
+      "}\n";
+  EXPECT_TRUE(has_check(lint_source("src/core/x.cpp", src), "par-shared-write"));
+}
+
+// ---------------------------------------------------------------------------
+// hygiene checks
+// ---------------------------------------------------------------------------
+
+TEST(LintHygiene, FlagsSwallowedCatch) {
+  const std::string src =
+      "void f() {\n"
+      "  try { g(); } catch (const std::exception&) {\n"
+      "  }\n"
+      "}\n";
+  const auto findings = lint_source("src/util/x.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "hyg-catch-log");
+  EXPECT_EQ(findings[0].severity, lint::Severity::Warning);
+}
+
+TEST(LintHygiene, LoggingRethrowingOrAssertingCatchIsFine) {
+  EXPECT_TRUE(lint_source("src/util/x.cpp",
+                          "void f() { try { g(); } catch (const std::exception& e) { "
+                          "AC_LOG_WARN() << e.what(); } }\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("src/util/x.cpp",
+                          "void f() { try { g(); } catch (...) { throw; } }\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("tests/test_x.cpp",
+                          "TEST(A, B) { try { g(); FAIL(); } catch (const Error& e) { "
+                          "EXPECT_NE(std::string(e.what()).find(\"x\"), std::string::npos); } }\n")
+                  .empty());
+}
+
+TEST(LintHygiene, FlagsNakedNewButNotMakeUnique) {
+  EXPECT_TRUE(has_check(lint_source("src/core/x.cpp", "int* f() { return new int(3); }\n"),
+                        "hyg-naked-new"));
+  EXPECT_TRUE(lint_source("src/core/x.cpp",
+                          "auto f() { return std::make_unique<int>(3); }\n")
+                  .empty());
+}
+
+TEST(LintHygiene, FlagsFloatLiteralEquality) {
+  const auto findings =
+      lint_source("src/core/x.cpp", "bool f(double x) { return x == 1.5; }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "hyg-float-eq");
+  EXPECT_TRUE(lint_source("src/core/x.cpp", "bool f(double x) { return x < 1.5; }\n").empty());
+  EXPECT_TRUE(lint_source("src/core/x.cpp", "bool f(int x) { return x == 2; }\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// suppression comments
+// ---------------------------------------------------------------------------
+
+TEST(LintSuppression, SameLineAllowSilencesTheCheck) {
+  const std::string src =
+      "bool f(double x) { return x == 1.5; }  // acclaim-lint: allow(hyg-float-eq)\n";
+  EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());
+}
+
+TEST(LintSuppression, PrecedingLineAllowSilencesTheCheck) {
+  const std::string src =
+      "// exact sentinel. acclaim-lint: allow(hyg-float-eq)\n"
+      "bool f(double x) { return x == 1.5; }\n";
+  EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());
+}
+
+TEST(LintSuppression, AllowOnlySilencesTheNamedCheck) {
+  const std::string src =
+      "// acclaim-lint: allow(hyg-naked-new)\n"
+      "bool f(double x) { return x == 1.5; }\n";
+  EXPECT_TRUE(has_check(lint_source("src/core/x.cpp", src), "hyg-float-eq"));
+}
+
+TEST(LintSuppression, AllowListAcceptsMultipleIds) {
+  const std::string src =
+      "// acclaim-lint: allow(hyg-float-eq, hyg-naked-new)\n"
+      "int* f(double x) { return x == 1.5 ? new int(1) : nullptr; }\n";
+  EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());
+}
+
+// ---------------------------------------------------------------------------
+// baseline ratchet
+// ---------------------------------------------------------------------------
+
+TEST(LintBaseline, CoversKnownDebtAndFailsNewFindings) {
+  const std::string src =
+      "bool f(double x) { return x == 1.5; }\n"
+      "bool g(double x) { return x != 2.5; }\n";
+  const auto findings = lint_source("src/core/x.cpp", src);
+  ASSERT_EQ(findings.size(), 2u);
+
+  lint::Baseline covers_both;
+  covers_both.set("hyg-float-eq", "src/core/x.cpp", 2);
+  const lint::GateResult ok = lint::apply_baseline(findings, covers_both);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.baselined.size(), 2u);
+  EXPECT_TRUE(ok.stale.empty());
+
+  lint::Baseline covers_one;
+  covers_one.set("hyg-float-eq", "src/core/x.cpp", 1);
+  const lint::GateResult over = lint::apply_baseline(findings, covers_one);
+  EXPECT_FALSE(over.ok());
+  ASSERT_EQ(over.fresh.size(), 1u);
+  EXPECT_EQ(over.fresh[0].check, "hyg-float-eq");
+}
+
+TEST(LintBaseline, StaleEntriesAreReportedForRatcheting) {
+  lint::Baseline b;
+  b.set("hyg-float-eq", "src/core/x.cpp", 3);
+  const lint::GateResult gate =
+      lint::apply_baseline(lint_source("src/core/x.cpp", "int f() { return 1; }\n"), b);
+  EXPECT_TRUE(gate.ok());  // paid-down debt never fails the gate
+  ASSERT_EQ(gate.stale.size(), 1u);
+  EXPECT_EQ(gate.stale[0].allowed, 3);
+  EXPECT_EQ(gate.stale[0].actual, 0);
+}
+
+TEST(LintBaseline, JsonRoundTripAndFromFindings) {
+  const auto findings = lint_source(
+      "src/core/x.cpp", "bool f(double x) { return x == 1.5 || x == 2.5; }\n");
+  ASSERT_EQ(findings.size(), 2u);
+  const lint::Baseline b = lint::baseline_from_findings(findings);
+  EXPECT_EQ(b.allowed("hyg-float-eq", "src/core/x.cpp"), 2);
+
+  const lint::Baseline reparsed = lint::Baseline::from_json(b.to_json());
+  EXPECT_EQ(reparsed.allowed("hyg-float-eq", "src/core/x.cpp"), 2);
+  EXPECT_TRUE(lint::apply_baseline(findings, reparsed).ok());
+}
+
+TEST(LintBaseline, RejectsUnknownCheckIds) {
+  util::Json doc = util::Json::parse(
+      R"({"version":1,"entries":[{"check":"not-a-check","file":"a.cpp","count":1}]})");
+  EXPECT_THROW(lint::Baseline::from_json(doc), NotFoundError);
+}
+
+// ---------------------------------------------------------------------------
+// registry & report plumbing
+// ---------------------------------------------------------------------------
+
+TEST(LintRegistry, EveryCheckHasIdSeverityAndSummary) {
+  const auto& checks = lint::all_checks();
+  EXPECT_GE(checks.size(), 9u);
+  for (const auto& c : checks) {
+    EXPECT_FALSE(c.id.empty());
+    EXPECT_FALSE(c.summary.empty());
+    EXPECT_EQ(lint::check_severity(c.id), c.severity);
+  }
+  EXPECT_THROW(lint::check_severity("no-such-check"), NotFoundError);
+}
+
+TEST(LintReport, JsonCarriesCheckIdsAndOkFlag) {
+  const auto findings =
+      lint_source("src/core/x.cpp", "void f() { std::random_device rd; (void)rd; }\n");
+  const lint::GateResult gate = lint::apply_baseline(findings, {});
+  const util::Json doc = lint::report_json(gate, 1);
+  EXPECT_FALSE(doc.at("ok").as_bool());
+  ASSERT_EQ(doc.at("findings").as_array().size(), 1u);
+  EXPECT_EQ(doc.at("findings").as_array()[0].at("check").as_string(), "det-rand");
+  EXPECT_EQ(doc.at("findings").as_array()[0].at("severity").as_string(), "error");
+}

@@ -1,0 +1,952 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <ostream>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace acclaim::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Check registry
+// ---------------------------------------------------------------------------
+
+std::vector<CheckInfo> make_registry() {
+  return {
+      {"det-rand", Severity::Error,
+       "libc/<random> randomness is forbidden in deterministic layers; use util::Rng "
+       "(Rng::stream for parallel work)"},
+      {"det-wallclock", Severity::Error,
+       "wall-clock reads (system_clock, time(), gettimeofday) are forbidden in deterministic "
+       "layers; steady_clock host-wall telemetry is exempt"},
+      {"det-rng-ref-capture", Severity::Error,
+       "a mutable Rng captured by reference must not cross a parallel_for/submit boundary; "
+       "pre-derive per-item RNGs before the loop"},
+      {"det-unordered-iter", Severity::Error,
+       "iteration over std::unordered_map/unordered_set has hash-dependent order; use "
+       "std::map/std::set or sort before iterating"},
+      {"par-shared-write", Severity::Error,
+       "non-atomic write to shared state inside a parallel_for/submit lambda; write only to "
+       "per-index slots"},
+      {"par-float-reduction", Severity::Error,
+       "+=/-= on a shared floating-point value inside a parallel lambda reorders the "
+       "reduction across thread counts; accumulate per-slot and fold serially"},
+      {"hyg-catch-log", Severity::Warning,
+       "catch block neither logs (AC_LOG_*) nor rethrows/returns; a swallowed exception "
+       "hides the failure"},
+      {"hyg-naked-new", Severity::Warning,
+       "naked new expression; use std::make_unique/make_shared or a container"},
+      {"hyg-float-eq", Severity::Warning,
+       "floating-point literal compared with ==/!=; use an epsilon or an exact integer "
+       "representation"},
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Token scanner
+// ---------------------------------------------------------------------------
+
+struct Tok {
+  enum class Kind { Ident, Num, Str, Punct };
+  Kind kind;
+  std::string text;
+  std::size_t line;
+};
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Multi-char operators the checks care about, longest first.
+const char* kPunct2[] = {"::", "->", "++", "--", "+=", "-=", "*=", "/=", "%=",
+                         "&=", "|=", "^=", "==", "!=", "<=", ">=", "&&", "||", "<<"};
+
+struct ScanResult {
+  std::vector<Tok> toks;
+  /// line -> check ids allowed by an `acclaim-lint: allow(...)` comment on
+  /// that line (a comment also covers the line after it).
+  std::map<std::size_t, std::set<std::string>> allows;
+};
+
+void record_allows(ScanResult& out, const std::string& comment, std::size_t line) {
+  const std::string marker = "acclaim-lint:";
+  std::size_t pos = comment.find(marker);
+  if (pos == std::string::npos) {
+    return;
+  }
+  pos = comment.find("allow(", pos);
+  if (pos == std::string::npos) {
+    return;
+  }
+  pos += 6;
+  const std::size_t close = comment.find(')', pos);
+  if (close == std::string::npos) {
+    return;
+  }
+  std::string id;
+  for (std::size_t i = pos; i <= close; ++i) {
+    const char c = i < close ? comment[i] : ',';
+    if (c == ',' || c == ' ') {
+      if (!id.empty()) {
+        out.allows[line].insert(id);
+        id.clear();
+      }
+    } else {
+      id.push_back(c);
+    }
+  }
+}
+
+ScanResult scan(const std::string& src) {
+  ScanResult out;
+  std::size_t i = 0;
+  std::size_t line = 1;
+  bool line_start = true;  // only whitespace seen since the last newline
+  const std::size_t n = src.size();
+
+  auto newline = [&] {
+    ++line;
+    line_start = true;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      newline();
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip the whole (possibly continued) line so
+    // `#include <unordered_map>` and macro bodies never produce tokens.
+    if (c == '#' && line_start) {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          newline();
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') {
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    line_start = false;
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t start = i;
+      while (i < n && src[i] != '\n') {
+        ++i;
+      }
+      record_allows(out, src.substr(start, i - start), line);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t start = i;
+      const std::size_t start_line = line;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') {
+          newline();
+        }
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      record_allows(out, src.substr(start, i - start), start_line);
+      continue;
+    }
+    // Raw string literal (the R/uR/u8R/LR/UR ident was just emitted).
+    if (c == '"' && !out.toks.empty() && out.toks.back().kind == Tok::Kind::Ident) {
+      const std::string& prev = out.toks.back().text;
+      if (prev == "R" || prev == "uR" || prev == "u8R" || prev == "LR" || prev == "UR") {
+        out.toks.pop_back();
+        std::size_t j = i + 1;
+        std::string delim;
+        while (j < n && src[j] != '(') {
+          delim.push_back(src[j++]);
+        }
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t end = src.find(closer, j);
+        const std::size_t stop = end == std::string::npos ? n : end + closer.size();
+        for (std::size_t k = i; k < stop; ++k) {
+          if (src[k] == '\n') {
+            newline();
+          }
+        }
+        out.toks.push_back({Tok::Kind::Str, "", line});
+        i = stop;
+        continue;
+      }
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) {
+          ++i;
+        }
+        if (src[i] == '\n') {
+          newline();
+        }
+        ++i;
+      }
+      ++i;
+      out.toks.push_back({Tok::Kind::Str, "", line});
+      continue;
+    }
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      const std::size_t start = i;
+      while (i < n && ident_char(src[i])) {
+        ++i;
+      }
+      out.toks.push_back({Tok::Kind::Ident, src.substr(start, i - start), line});
+      continue;
+    }
+    // Number (incl. 1e-9, 0x1f, digit separators).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      const std::size_t start = i;
+      while (i < n) {
+        const char d = src[i];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++i;
+        } else if ((d == '+' || d == '-') && i > start &&
+                   (src[i - 1] == 'e' || src[i - 1] == 'E' || src[i - 1] == 'p' ||
+                    src[i - 1] == 'P')) {
+          ++i;
+        } else {
+          break;
+        }
+      }
+      out.toks.push_back({Tok::Kind::Num, src.substr(start, i - start), line});
+      continue;
+    }
+    // Punctuation, two-char operators first.
+    if (i + 1 < n) {
+      const std::string two = src.substr(i, 2);
+      bool matched = false;
+      for (const char* op : kPunct2) {
+        if (two == op) {
+          out.toks.push_back({Tok::Kind::Punct, two, line});
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) {
+        continue;
+      }
+    }
+    out.toks.push_back({Tok::Kind::Punct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Declaration harvesting (file-global, intentionally scope-free)
+// ---------------------------------------------------------------------------
+
+/// Simplified variable types the checks reason about.
+enum class DeclType { Rng, Unordered, Float, Atomic };
+
+using DeclMap = std::map<std::string, DeclType>;
+
+bool is_unordered_name(const std::string& s) {
+  return s == "unordered_map" || s == "unordered_set" || s == "unordered_multimap" ||
+         s == "unordered_multiset";
+}
+
+/// Advances past a balanced <...> starting at toks[i] == "<"; returns the
+/// index just after the matching ">". Not confused by "<<" (lexed as one
+/// token, which cannot appear inside template arguments in this codebase).
+std::size_t skip_template_args(const std::vector<Tok>& toks, std::size_t i) {
+  int depth = 0;
+  while (i < toks.size()) {
+    const std::string& t = toks[i].text;
+    if (toks[i].kind == Tok::Kind::Punct && t == "<") {
+      ++depth;
+    } else if (toks[i].kind == Tok::Kind::Punct && t == ">") {
+      --depth;
+      if (depth == 0) {
+        return i + 1;
+      }
+    } else if (toks[i].kind == Tok::Kind::Punct && (t == ";" || t == "{")) {
+      return i;  // malformed / not actually a template — bail out
+    }
+    ++i;
+  }
+  return i;
+}
+
+void harvest_decls(const std::vector<Tok>& toks, DeclMap& decls) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::Kind::Ident) {
+      continue;
+    }
+    const std::string& t = toks[i].text;
+    const bool member_access =
+        i > 0 && toks[i - 1].kind == Tok::Kind::Punct &&
+        (toks[i - 1].text == "." || toks[i - 1].text == "->");
+    if (member_access) {
+      continue;
+    }
+    DeclType type{};
+    std::size_t j = 0;
+    if (t == "Rng") {
+      type = DeclType::Rng;
+      j = i + 1;
+    } else if (is_unordered_name(t) || t == "atomic") {
+      if (i + 1 >= toks.size() || toks[i + 1].text != "<") {
+        continue;
+      }
+      type = is_unordered_name(t) ? DeclType::Unordered : DeclType::Atomic;
+      j = skip_template_args(toks, i + 1);
+      // An unordered type nested in an outer template (vector<unordered_map<..>>)
+      // still taints the declared variable: close out the outer arguments.
+      while (j < toks.size() && toks[j].kind == Tok::Kind::Punct && toks[j].text == ">") {
+        ++j;
+      }
+    } else if (t == "double" || t == "float") {
+      if (i > 0 && toks[i - 1].kind == Tok::Kind::Punct &&
+          (toks[i - 1].text == "<" || toks[i - 1].text == ",")) {
+        continue;  // template argument, not a declaration
+      }
+      type = DeclType::Float;
+      j = i + 1;
+    } else {
+      continue;
+    }
+    while (j < toks.size() && toks[j].kind == Tok::Kind::Punct &&
+           (toks[j].text == "&" || toks[j].text == "*")) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == Tok::Kind::Ident && toks[j].text == "const") {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == Tok::Kind::Ident) {
+      decls.emplace(toks[j].text, type);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-file analysis
+// ---------------------------------------------------------------------------
+
+bool has_prefix(const std::string& path, const std::vector<std::string>& prefixes) {
+  return std::any_of(prefixes.begin(), prefixes.end(), [&](const std::string& p) {
+    return path.rfind(p, 0) == 0;
+  });
+}
+
+const std::set<std::string>& rand_idents() {
+  static const std::set<std::string> kSet = {
+      "random_device", "mt19937",      "mt19937_64",     "minstd_rand",
+      "minstd_rand0",  "ranlux24",     "ranlux48",       "knuth_b",
+      "default_random_engine",         "uniform_int_distribution",
+      "uniform_real_distribution",     "normal_distribution",
+      "bernoulli_distribution",        "poisson_distribution",
+      "discrete_distribution",
+  };
+  return kSet;
+}
+
+const std::set<std::string>& rand_calls() {
+  static const std::set<std::string> kSet = {"rand", "srand", "rand_r", "drand48", "lrand48"};
+  return kSet;
+}
+
+const std::set<std::string>& wallclock_idents() {
+  static const std::set<std::string> kSet = {"system_clock", "gettimeofday", "localtime",
+                                             "gmtime", "mktime"};
+  return kSet;
+}
+
+const std::set<std::string>& wallclock_calls() {
+  static const std::set<std::string> kSet = {"time", "clock"};
+  return kSet;
+}
+
+bool is_float_literal(const Tok& t) {
+  if (t.kind != Tok::Kind::Num) {
+    return false;
+  }
+  if (t.text.size() > 1 && t.text[0] == '0' && (t.text[1] == 'x' || t.text[1] == 'X')) {
+    return false;
+  }
+  return t.text.find('.') != std::string::npos || t.text.find('e') != std::string::npos ||
+         t.text.find('E') != std::string::npos;
+}
+
+std::size_t match_paren(const std::vector<Tok>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::Kind::Punct) {
+      continue;
+    }
+    if (toks[i].text == "(") {
+      ++depth;
+    } else if (toks[i].text == ")") {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  return toks.size();
+}
+
+std::size_t match_brace(const std::vector<Tok>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::Kind::Punct) {
+      continue;
+    }
+    if (toks[i].text == "{") {
+      ++depth;
+    } else if (toks[i].text == "}") {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  return toks.size();
+}
+
+std::size_t match_bracket(const std::vector<Tok>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::Kind::Punct) {
+      continue;
+    }
+    if (toks[i].text == "[") {
+      ++depth;
+    } else if (toks[i].text == "]") {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  return toks.size();
+}
+
+struct Analyzer {
+  const std::string& path;
+  const LintOptions& opt;
+  const std::vector<Tok>& toks;
+  const std::map<std::size_t, std::set<std::string>>& allows;
+  DeclMap decls;
+  std::vector<Finding> findings;
+
+  bool suppressed(const std::string& check, std::size_t line) const {
+    for (std::size_t l : {line, line > 0 ? line - 1 : line}) {
+      auto it = allows.find(l);
+      if (it != allows.end() && (it->second.count(check) || it->second.count("all"))) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void report(const std::string& check, std::size_t line, const std::string& message) {
+    if (suppressed(check, line)) {
+      return;
+    }
+    findings.push_back({check, check_severity(check), path, line, message});
+  }
+
+  const Tok* prev_tok(std::size_t i) const { return i > 0 ? &toks[i - 1] : nullptr; }
+  const Tok* next_tok(std::size_t i) const {
+    return i + 1 < toks.size() ? &toks[i + 1] : nullptr;
+  }
+
+  bool prev_is_member_or_scope(std::size_t i) const {
+    const Tok* p = prev_tok(i);
+    return p != nullptr && p->kind == Tok::Kind::Punct &&
+           (p->text == "." || p->text == "->" || p->text == "::");
+  }
+
+  bool prev_is_member(std::size_t i) const {
+    const Tok* p = prev_tok(i);
+    return p != nullptr && p->kind == Tok::Kind::Punct && (p->text == "." || p->text == "->");
+  }
+
+  // --- det-rand / det-wallclock ------------------------------------------
+  void check_det_layer_tokens() {
+    if (!has_prefix(path, opt.det_layers)) {
+      return;
+    }
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != Tok::Kind::Ident || prev_is_member(i)) {
+        continue;
+      }
+      const std::string& t = toks[i].text;
+      const Tok* nx = next_tok(i);
+      const bool call = nx != nullptr && nx->kind == Tok::Kind::Punct && nx->text == "(";
+      if (rand_idents().count(t) || (call && rand_calls().count(t))) {
+        report("det-rand", toks[i].line,
+               "'" + t + "' in deterministic layer; use util::Rng / Rng::stream");
+      } else if (wallclock_idents().count(t) || (call && wallclock_calls().count(t))) {
+        report("det-wallclock", toks[i].line,
+               "'" + t + "' reads the wall clock in a deterministic layer");
+      }
+    }
+  }
+
+  // --- det-unordered-iter -------------------------------------------------
+  void check_unordered_iteration() {
+    if (!has_prefix(path, opt.ordered_iter_layers)) {
+      return;
+    }
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != Tok::Kind::Ident || toks[i].text != "for" ||
+          toks[i + 1].text != "(") {
+        continue;
+      }
+      const std::size_t close = match_paren(toks, i + 1);
+      // Range-for: a ':' at parenthesis depth 1 ("::" lexes as one token).
+      std::size_t colon = 0;
+      int depth = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (toks[j].kind != Tok::Kind::Punct) {
+          continue;
+        }
+        if (toks[j].text == "(") {
+          ++depth;
+        } else if (toks[j].text == ")") {
+          --depth;
+        } else if (toks[j].text == ":" && depth == 1) {
+          colon = j;
+          break;
+        }
+      }
+      if (colon == 0) {
+        continue;
+      }
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (toks[j].kind != Tok::Kind::Ident) {
+          continue;
+        }
+        auto it = decls.find(toks[j].text);
+        const bool unordered_var =
+            it != decls.end() && it->second == DeclType::Unordered && !prev_is_member(j);
+        if (unordered_var || is_unordered_name(toks[j].text)) {
+          report("det-unordered-iter", toks[j].line,
+                 "range-for over unordered container '" + toks[j].text + "'");
+          break;
+        }
+      }
+    }
+  }
+
+  // --- parallel-region checks --------------------------------------------
+  void check_parallel_regions() {
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != Tok::Kind::Ident ||
+          (toks[i].text != "parallel_for" && toks[i].text != "submit") ||
+          toks[i + 1].text != "(") {
+        continue;
+      }
+      const std::size_t call_close = match_paren(toks, i + 1);
+      // Lambdas are the arguments whose '[' directly follows '(' or ','.
+      for (std::size_t j = i + 2; j < call_close; ++j) {
+        if (toks[j].kind == Tok::Kind::Punct && toks[j].text == "[" &&
+            toks[j - 1].kind == Tok::Kind::Punct &&
+            (toks[j - 1].text == "(" || toks[j - 1].text == ",")) {
+          analyze_lambda(j, call_close);
+        }
+      }
+    }
+  }
+
+  void analyze_lambda(std::size_t capture_open, std::size_t limit) {
+    const std::size_t capture_close = match_bracket(toks, capture_open);
+    if (capture_close >= limit) {
+      return;
+    }
+    bool default_ref = false;
+    std::set<std::string> ref_captures;
+    std::set<std::string> locals;
+    for (std::size_t j = capture_open + 1; j < capture_close; ++j) {
+      if (toks[j].kind == Tok::Kind::Punct && toks[j].text == "&") {
+        const Tok* nx = next_tok(j);
+        if (nx != nullptr && nx->kind == Tok::Kind::Ident) {
+          ref_captures.insert(nx->text);
+        } else {
+          default_ref = true;
+        }
+      } else if (toks[j].kind == Tok::Kind::Punct && toks[j].text == "=") {
+        // by-value default; init-captures (x = expr) also land here, fine
+      }
+    }
+    // Parameters: idents directly before ',' or ')' inside the param list.
+    std::size_t k = capture_close + 1;
+    if (k < toks.size() && toks[k].text == "(") {
+      const std::size_t param_close = match_paren(toks, k);
+      for (std::size_t j = k + 1; j < param_close; ++j) {
+        if (toks[j].kind == Tok::Kind::Ident && j + 1 <= param_close &&
+            toks[j + 1].kind == Tok::Kind::Punct &&
+            (toks[j + 1].text == "," || toks[j + 1].text == ")")) {
+          locals.insert(toks[j].text);
+        }
+      }
+      k = param_close + 1;
+    }
+    while (k < toks.size() && toks[k].text != "{") {
+      ++k;  // skip mutable / noexcept / -> return-type
+    }
+    if (k >= toks.size()) {
+      return;
+    }
+    const std::size_t body_open = k;
+    const std::size_t body_close = match_brace(toks, body_open);
+
+    // Pass 1: locals declared in the body (type-ish token, then the name,
+    // then an initializer/terminator).
+    for (std::size_t j = body_open + 1; j < body_close; ++j) {
+      if (toks[j].kind != Tok::Kind::Ident || j == 0) {
+        continue;
+      }
+      const Tok& p = toks[j - 1];
+      const bool typeish =
+          p.kind == Tok::Kind::Ident ||
+          (p.kind == Tok::Kind::Punct && (p.text == ">" || p.text == "&" || p.text == "*"));
+      if (!typeish || (p.kind == Tok::Kind::Ident && j >= 2 && prev_is_member(j - 1))) {
+        continue;
+      }
+      const Tok* nx = next_tok(j);
+      if (nx != nullptr &&
+          (nx->text == "=" || nx->text == ";" || nx->text == "," || nx->text == ":" ||
+           nx->text == "(" || nx->text == "{")) {
+        locals.insert(toks[j].text);
+      }
+    }
+
+    // Pass 2: shared writes and by-ref Rng use.
+    for (std::size_t j = body_open + 1; j < body_close; ++j) {
+      if (toks[j].kind != Tok::Kind::Ident || locals.count(toks[j].text) ||
+          prev_is_member_or_scope(j)) {
+        continue;
+      }
+      const std::string& name = toks[j].text;
+      const auto decl = decls.find(name);
+      const Tok* nx = next_tok(j);
+
+      const bool captured_by_ref = default_ref || ref_captures.count(name) > 0;
+      if (captured_by_ref && decl != decls.end() && decl->second == DeclType::Rng &&
+          nx != nullptr && nx->kind == Tok::Kind::Punct && nx->text == ".") {
+        report("det-rng-ref-capture", toks[j].line,
+               "Rng '" + name +
+                   "' is used through a by-reference capture inside a parallel region");
+        continue;
+      }
+
+      if (decl != decls.end() && decl->second == DeclType::Atomic) {
+        continue;
+      }
+      const bool pre_incdec = j > 0 && toks[j - 1].kind == Tok::Kind::Punct &&
+                              (toks[j - 1].text == "++" || toks[j - 1].text == "--");
+      std::string op;
+      if (nx != nullptr && nx->kind == Tok::Kind::Punct) {
+        static const std::set<std::string> kWriteOps = {"=",  "+=", "-=", "*=",
+                                                        "/=", "++", "--"};
+        if (kWriteOps.count(nx->text)) {
+          op = nx->text;
+        }
+      }
+      if (op.empty() && pre_incdec) {
+        op = toks[j - 1].text;
+      }
+      if (op.empty()) {
+        continue;
+      }
+      // `=` directly after a type-ish token is a declaration, not a write;
+      // pass 1 catches most, but catch `auto x = ...` patterns it classified
+      // as locals already — anything left here is a genuine shared write.
+      if (op == "+=" || op == "-=") {
+        if (decl != decls.end() && decl->second == DeclType::Float) {
+          report("par-float-reduction", toks[j].line,
+                 "'" + name + " " + op + "' reduces a float inside a parallel region");
+          continue;
+        }
+      }
+      report("par-shared-write", toks[j].line,
+             "'" + name + " " + op + "' writes shared state inside a parallel region");
+    }
+  }
+
+  // --- hygiene ------------------------------------------------------------
+  void check_catch_blocks() {
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != Tok::Kind::Ident || toks[i].text != "catch" ||
+          toks[i + 1].text != "(") {
+        continue;
+      }
+      std::size_t k = match_paren(toks, i + 1) + 1;
+      if (k >= toks.size() || toks[k].text != "{") {
+        continue;
+      }
+      const std::size_t close = match_brace(toks, k);
+      bool handled = false;
+      for (std::size_t j = k + 1; j < close; ++j) {
+        if (toks[j].kind != Tok::Kind::Ident) {
+          continue;
+        }
+        const std::string& t = toks[j].text;
+        // gtest assertions count as handling: a test catch that asserts on
+        // the exception is observing it, not swallowing it.
+        if (t.rfind("AC_LOG_", 0) == 0 || t.rfind("EXPECT_", 0) == 0 ||
+            t.rfind("ASSERT_", 0) == 0 || t == "FAIL" || t == "SUCCEED" ||
+            t == "ADD_FAILURE" || t == "throw" || t == "return" ||
+            t == "rethrow_exception" || t == "terminate" || t == "abort") {
+          handled = true;
+          break;
+        }
+      }
+      if (!handled) {
+        report("hyg-catch-log", toks[i].line,
+               "catch block swallows the exception (no AC_LOG_*, throw, or return)");
+      }
+    }
+  }
+
+  void check_naked_new() {
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind == Tok::Kind::Ident && toks[i].text == "new" &&
+          !prev_is_member_or_scope(i)) {
+        report("hyg-naked-new", toks[i].line, "naked new expression");
+      }
+    }
+  }
+
+  void check_float_eq() {
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != Tok::Kind::Punct ||
+          (toks[i].text != "==" && toks[i].text != "!=")) {
+        continue;
+      }
+      const Tok* p = prev_tok(i);
+      const Tok* nx = next_tok(i);
+      if ((p != nullptr && is_float_literal(*p)) || (nx != nullptr && is_float_literal(*nx))) {
+        report("hyg-float-eq", toks[i].line,
+               "'" + toks[i].text + "' compares against a floating-point literal");
+      }
+    }
+  }
+
+  void run() {
+    check_det_layer_tokens();
+    check_unordered_iteration();
+    check_parallel_regions();
+    check_catch_blocks();
+    check_naked_new();
+    check_float_eq();
+    std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+      return std::tie(a.line, a.check) < std::tie(b.line, b.check);
+    });
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+const char* severity_name(Severity s) {
+  return s == Severity::Error ? "error" : "warning";
+}
+
+const std::vector<CheckInfo>& all_checks() {
+  static const std::vector<CheckInfo> kChecks = make_registry();
+  return kChecks;
+}
+
+Severity check_severity(const std::string& id) {
+  for (const CheckInfo& c : all_checks()) {
+    if (c.id == id) {
+      return c.severity;
+    }
+  }
+  throw NotFoundError("unknown lint check id: " + id);
+}
+
+std::vector<std::string> default_det_layers() {
+  return {"src/core/", "src/ml/", "src/simnet/", "src/benchdata/", "src/collectives/"};
+}
+
+std::vector<Finding> lint_source(const std::string& path, const std::string& content,
+                                 const LintOptions& opt) {
+  ScanResult scanned = scan(content);
+  Analyzer az{path, opt, scanned.toks, scanned.allows, {}, {}};
+  if (!opt.companion_header.empty()) {
+    ScanResult header = scan(opt.companion_header);
+    harvest_decls(header.toks, az.decls);
+  }
+  harvest_decls(scanned.toks, az.decls);
+  az.run();
+  return az.findings;
+}
+
+// ---------------------------------------------------------------------------
+// Baseline ratchet
+// ---------------------------------------------------------------------------
+
+Baseline Baseline::from_json(const util::Json& doc) {
+  Baseline b;
+  for (const util::Json& entry : doc.at("entries").as_array()) {
+    const std::string check = entry.at("check").as_string();
+    check_severity(check);  // validate the id
+    b.set(check, entry.at("file").as_string(), static_cast<int>(entry.at("count").as_int()));
+  }
+  return b;
+}
+
+Baseline Baseline::load(const std::string& path) {
+  if (!std::filesystem::exists(path)) {
+    return {};
+  }
+  return from_json(util::Json::parse_file(path));
+}
+
+util::Json Baseline::to_json() const {
+  util::Json doc = util::Json::object();
+  doc["version"] = 1;
+  util::Json entries = util::Json::array();
+  for (const auto& [key, count] : entries_) {
+    util::Json e = util::Json::object();
+    e["check"] = key.first;
+    e["file"] = key.second;
+    e["count"] = count;
+    entries.push_back(std::move(e));
+  }
+  doc["entries"] = std::move(entries);
+  return doc;
+}
+
+int Baseline::allowed(const std::string& check, const std::string& file) const {
+  const auto it = entries_.find({check, file});
+  return it == entries_.end() ? 0 : it->second;
+}
+
+void Baseline::set(const std::string& check, const std::string& file, int count) {
+  entries_[{check, file}] = count;
+}
+
+GateResult apply_baseline(const std::vector<Finding>& findings, const Baseline& baseline) {
+  GateResult gate;
+  std::map<std::pair<std::string, std::string>, int> seen;
+  for (const Finding& f : findings) {
+    const int used = ++seen[{f.check, f.file}];
+    if (used <= baseline.allowed(f.check, f.file)) {
+      gate.baselined.push_back(f);
+    } else {
+      gate.fresh.push_back(f);
+    }
+  }
+  for (const auto& [key, allowed] : baseline.entries()) {
+    const auto it = seen.find(key);
+    const int actual = it == seen.end() ? 0 : it->second;
+    if (actual < allowed) {
+      gate.stale.push_back({key.first, key.second, allowed, actual});
+    }
+  }
+  return gate;
+}
+
+Baseline baseline_from_findings(const std::vector<Finding>& findings) {
+  Baseline b;
+  std::map<std::pair<std::string, std::string>, int> counts;
+  for (const Finding& f : findings) {
+    ++counts[{f.check, f.file}];
+  }
+  for (const auto& [key, count] : counts) {
+    b.set(key.first, key.second, count);
+  }
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+namespace {
+
+util::Json finding_json(const Finding& f) {
+  util::Json e = util::Json::object();
+  e["check"] = f.check;
+  e["severity"] = severity_name(f.severity);
+  e["file"] = f.file;
+  e["line"] = static_cast<long long>(f.line);
+  e["message"] = f.message;
+  return e;
+}
+
+}  // namespace
+
+util::Json report_json(const GateResult& gate, std::size_t files_scanned) {
+  util::Json doc = util::Json::object();
+  doc["ok"] = gate.ok();
+  doc["files_scanned"] = static_cast<long long>(files_scanned);
+  util::Json fresh = util::Json::array();
+  for (const Finding& f : gate.fresh) {
+    fresh.push_back(finding_json(f));
+  }
+  doc["findings"] = std::move(fresh);
+  util::Json baselined = util::Json::array();
+  for (const Finding& f : gate.baselined) {
+    baselined.push_back(finding_json(f));
+  }
+  doc["baselined"] = std::move(baselined);
+  util::Json stale = util::Json::array();
+  for (const GateResult::Stale& s : gate.stale) {
+    util::Json e = util::Json::object();
+    e["check"] = s.check;
+    e["file"] = s.file;
+    e["allowed"] = s.allowed;
+    e["actual"] = s.actual;
+    stale.push_back(std::move(e));
+  }
+  doc["stale_baseline"] = std::move(stale);
+  return doc;
+}
+
+void render_report(std::ostream& os, const GateResult& gate, std::size_t files_scanned) {
+  if (!gate.fresh.empty()) {
+    util::TablePrinter table({"severity", "check", "location", "message"});
+    for (const Finding& f : gate.fresh) {
+      table.add_row({severity_name(f.severity), f.check,
+                     f.file + ":" + std::to_string(f.line), f.message});
+    }
+    table.print(os);
+  }
+  std::size_t errors = 0;
+  for (const Finding& f : gate.fresh) {
+    errors += f.severity == Severity::Error ? 1 : 0;
+  }
+  os << "acclaim-lint: " << gate.fresh.size() << " finding(s) (" << errors << " error(s), "
+     << gate.fresh.size() - errors << " warning(s)), " << gate.baselined.size()
+     << " baselined, " << gate.stale.size() << " stale baseline entr"
+     << (gate.stale.size() == 1 ? "y" : "ies") << ", " << files_scanned
+     << " file(s) scanned\n";
+  for (const GateResult::Stale& s : gate.stale) {
+    os << "acclaim-lint: stale baseline entry " << s.check << " @ " << s.file << " (allows "
+       << s.allowed << ", found " << s.actual
+       << ") — ratchet it down with --write-baseline\n";
+  }
+}
+
+}  // namespace acclaim::lint

@@ -1,0 +1,136 @@
+// acclaim_lint — project-specific determinism & correctness static analysis.
+//
+// The repo's headline engineering property is bitwise-identical results for
+// any --threads. That invariant is enforced dynamically by the golden
+// fingerprints in tests/test_determinism.cpp; this linter enforces the coding
+// rules behind it *statically*, before anything runs:
+//
+//   det-rand            no libc/<random> randomness in deterministic layers
+//   det-wallclock       no wall-clock reads in deterministic layers
+//   det-rng-ref-capture no by-ref Rng crossing a parallel_for/submit boundary
+//   det-unordered-iter  no iteration over unordered containers
+//   par-shared-write    no non-atomic shared writes in parallel lambdas
+//   par-float-reduction no +=/-= float reductions in parallel lambdas
+//   hyg-catch-log       catch blocks must log, rethrow, or return
+//   hyg-naked-new       no naked new
+//   hyg-float-eq        no ==/!= against floating-point literals
+//
+// The scanner is token-level (comments/strings/preprocessor lines are lexed
+// away, so rule names inside string literals never fire) with lightweight
+// declaration tracking — enough to tell `rngs[i]` (a pre-derived per-item
+// stream, fine) from `rng.uniform()` (a shared generator crossing a thread
+// boundary, a determinism bug). It is deliberately not a full C++ front end:
+// findings err toward silence, and intentional exceptions carry an inline
+//     // acclaim-lint: allow(<check-id>)  <reason>
+// suppression on the same or preceding line. Remaining debt lives in a
+// baseline file (tools/lint_baseline.json) that only ratchets down.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace acclaim::lint {
+
+enum class Severity { Warning, Error };
+
+/// "warning" / "error".
+const char* severity_name(Severity s);
+
+/// One registered check: stable id, gate severity, one-line rule statement.
+struct CheckInfo {
+  std::string id;
+  Severity severity = Severity::Error;
+  std::string summary;
+};
+
+/// Every check the scanner knows, in report order.
+const std::vector<CheckInfo>& all_checks();
+
+/// Severity of a check id; throws NotFoundError on unknown ids.
+Severity check_severity(const std::string& id);
+
+/// One rule violation at a source location.
+struct Finding {
+  std::string check;
+  Severity severity = Severity::Error;
+  std::string file;
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// src/core, src/ml, src/simnet, src/benchdata, src/collectives.
+std::vector<std::string> default_det_layers();
+
+struct LintOptions {
+  /// Repo-relative path prefixes whose files must be free of wall-clock and
+  /// non-Rng randomness (the layers the golden determinism tests fingerprint).
+  std::vector<std::string> det_layers = default_det_layers();
+  /// Prefixes where unordered-container iteration is an error. Library and
+  /// CLI code feeds ordered output (rule files, tables, accumulators); test
+  /// fixtures may iterate scratch maps freely.
+  std::vector<std::string> ordered_iter_layers = {"src/", "tools/"};
+  /// Declarations harvested from a companion header (the CLI passes x.hpp's
+  /// content when linting x.cpp, so members declared in the header — e.g. an
+  /// unordered_map field iterated in the .cpp — are typed correctly).
+  std::string companion_header;
+};
+
+/// Lints one translation unit. `path` is the repo-relative path (used for
+/// layer scoping and reporting); `content` is the file text.
+std::vector<Finding> lint_source(const std::string& path, const std::string& content,
+                                 const LintOptions& opt = {});
+
+/// Known-debt ratchet: per (check, file) allowed finding counts.
+class Baseline {
+ public:
+  static Baseline from_json(const util::Json& doc);
+  /// Missing file -> empty baseline; malformed file throws.
+  static Baseline load(const std::string& path);
+  util::Json to_json() const;
+
+  int allowed(const std::string& check, const std::string& file) const;
+  void set(const std::string& check, const std::string& file, int count);
+  bool empty() const { return entries_.empty(); }
+
+  const std::map<std::pair<std::string, std::string>, int>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::pair<std::string, std::string>, int> entries_;
+};
+
+/// Outcome of gating findings against a baseline.
+struct GateResult {
+  std::vector<Finding> fresh;      ///< above-baseline findings; these fail the build
+  std::vector<Finding> baselined;  ///< findings covered by baseline allowances
+  struct Stale {
+    std::string check;
+    std::string file;
+    int allowed = 0;
+    int actual = 0;
+  };
+  /// Baseline entries whose allowance exceeds the current count — debt was
+  /// paid down; the baseline should be ratcheted (rewritten) to match.
+  std::vector<Stale> stale;
+  bool ok() const { return fresh.empty(); }
+};
+
+GateResult apply_baseline(const std::vector<Finding>& findings, const Baseline& baseline);
+
+/// Baseline exactly covering `findings` (what --write-baseline persists).
+Baseline baseline_from_findings(const std::vector<Finding>& findings);
+
+/// Machine-readable report: {ok, files_scanned, counts, findings:[...]}.
+util::Json report_json(const GateResult& gate, std::size_t files_scanned);
+
+/// Human-readable report: a util::TablePrinter table plus a summary line.
+void render_report(std::ostream& os, const GateResult& gate, std::size_t files_scanned);
+
+}  // namespace acclaim::lint

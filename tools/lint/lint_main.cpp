@@ -1,0 +1,192 @@
+// acclaim_lint CLI — scans the repo's own sources for determinism and
+// correctness rule violations (see lint.hpp for the check catalogue).
+//
+// usage: acclaim_lint [--root DIR] [--baseline FILE] [--write-baseline]
+//                     [--json] [--list-checks] [paths...]
+//
+//   --root DIR        repo root all paths are resolved against (default: .)
+//   --baseline FILE   known-debt ratchet file (default: tools/lint_baseline.json
+//                     under the root when it exists)
+//   --write-baseline  rewrite the baseline to exactly cover today's findings
+//   --json            machine-readable report on stdout instead of a table
+//   --list-checks     print the check catalogue and exit
+//   paths             files or directories relative to the root
+//                     (default: src tools tests)
+//
+// Exit codes: 0 clean (baselined debt and stale entries do not fail),
+// 1 findings above the baseline, 2 usage or I/O error.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace fs = std::filesystem;
+using namespace acclaim;
+
+namespace {
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" || ext == ".cxx";
+}
+
+bool skip_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == ".git" || name.rfind("build", 0) == 0;
+}
+
+void collect_files(const fs::path& root, const fs::path& rel, std::vector<std::string>& out) {
+  const fs::path abs = root / rel;
+  if (fs::is_regular_file(abs)) {
+    if (lintable_extension(abs)) {
+      out.push_back(rel.generic_string());
+    }
+    return;
+  }
+  if (!fs::is_directory(abs)) {
+    throw IoError("lint path does not exist: " + abs.string());
+  }
+  for (fs::recursive_directory_iterator it(abs), end; it != end; ++it) {
+    if (it->is_directory() && skip_dir(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && lintable_extension(it->path())) {
+      out.push_back(fs::relative(it->path(), root).generic_string());
+    }
+  }
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    throw IoError("cannot read " + p.string());
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Content of x.hpp / x.h next to x.cpp, so member declarations are visible
+/// when linting the implementation file; empty when there is none.
+std::string companion_header_content(const fs::path& root, const std::string& rel) {
+  const fs::path p = root / rel;
+  if (p.extension() != ".cpp" && p.extension() != ".cc" && p.extension() != ".cxx") {
+    return {};
+  }
+  for (const char* ext : {".hpp", ".h"}) {
+    fs::path header = p;
+    header.replace_extension(ext);
+    if (fs::is_regular_file(header)) {
+      return read_file(header);
+    }
+  }
+  return {};
+}
+
+void list_checks(std::ostream& os) {
+  util::TablePrinter table({"id", "severity", "rule"});
+  for (const lint::CheckInfo& c : lint::all_checks()) {
+    table.add_row({c.id, lint::severity_name(c.severity), c.summary});
+  }
+  table.print(os);
+}
+
+int run(int argc, char** argv) {
+  std::string root = ".";
+  std::string baseline_path;
+  bool write_baseline = false;
+  bool json = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        throw InvalidArgument(std::string(flag) + " requires a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = next("--root");
+    } else if (arg == "--baseline") {
+      baseline_path = next("--baseline");
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-checks") {
+      list_checks(std::cout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw InvalidArgument("unknown flag: " + arg + " (see the header of lint_main.cpp)");
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    paths = {"src", "tools", "tests"};
+  }
+  const fs::path root_path(root);
+  if (baseline_path.empty()) {
+    const fs::path def = root_path / "tools" / "lint_baseline.json";
+    if (fs::exists(def)) {
+      baseline_path = def.string();
+    }
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    collect_files(root_path, p, files);
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<lint::Finding> findings;
+  for (const std::string& rel : files) {
+    lint::LintOptions opt;
+    opt.companion_header = companion_header_content(root_path, rel);
+    std::vector<lint::Finding> file_findings =
+        lint::lint_source(rel, read_file(root_path / rel), opt);
+    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+  }
+
+  if (write_baseline) {
+    const std::string out =
+        baseline_path.empty() ? (root_path / "tools" / "lint_baseline.json").string()
+                              : baseline_path;
+    lint::baseline_from_findings(findings).to_json().dump_file(out);
+    std::cerr << "acclaim-lint: wrote baseline (" << findings.size() << " finding(s)) to "
+              << out << "\n";
+    return 0;
+  }
+
+  const lint::Baseline baseline =
+      baseline_path.empty() ? lint::Baseline{} : lint::Baseline::load(baseline_path);
+  const lint::GateResult gate = lint::apply_baseline(findings, baseline);
+
+  if (json) {
+    std::cout << lint::report_json(gate, files.size()).dump(2) << "\n";
+  } else {
+    lint::render_report(std::cout, gate, files.size());
+  }
+  return gate.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "acclaim-lint: " << e.what() << "\n";
+    return 2;
+  }
+}
