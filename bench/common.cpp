@@ -1,11 +1,13 @@
 #include "common.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
 
+#include "telemetry/audit.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/error.hpp"
@@ -159,7 +161,7 @@ void banner(const std::string& figure, const std::string& claim) {
             << "==============================================================\n";
 }
 
-BenchEnv::BenchEnv(int& argc, char** argv) {
+BenchEnv::BenchEnv(int& argc, char** argv) : start_(std::chrono::steady_clock::now()) {
   int threads = 0;
   int out = 1;  // argv[0] always survives
   for (int i = 1; i < argc; ++i) {
@@ -169,6 +171,10 @@ BenchEnv::BenchEnv(int& argc, char** argv) {
       threads = std::atoi(argv[++i]);
     } else if (arg == "--metrics-out" && has_value) {
       metrics_out_ = argv[++i];
+    } else if (arg == "--audit-out" && has_value) {
+      audit_out_ = argv[++i];
+    } else if (arg == "--json-out" && has_value) {
+      json_out_dir_ = argv[++i];
     } else {
       argv[out++] = argv[i];
     }
@@ -177,19 +183,60 @@ BenchEnv::BenchEnv(int& argc, char** argv) {
   if (threads > 0) {
     util::set_global_threads(threads);
   }
+  if (!audit_out_.empty()) {
+    telemetry::audit().open_stream(audit_out_);
+    std::cerr << "[bench] streaming audit log to " << audit_out_ << "\n";
+  }
   std::cerr << "[bench] compute threads: " << util::global_threads() << "\n";
 }
 
-BenchEnv::~BenchEnv() {
-  if (metrics_out_.empty()) {
+void BenchEnv::set_figure(const std::string& id) { figure_ = id; }
+
+void BenchEnv::add_row(util::Json row) {
+  if (json_out_dir_.empty()) {
     return;
   }
-  telemetry::publish_thread_pool_metrics();
+  rows_.push_back(std::move(row));
+}
+
+BenchEnv::~BenchEnv() {
+  if (!audit_out_.empty()) {
+    const std::size_t n = telemetry::audit().recorded();
+    telemetry::audit().disable();  // flushes and closes the stream
+    std::cerr << "[bench] wrote audit log to " << audit_out_ << " (" << n << " decisions)\n";
+  }
+  if (!metrics_out_.empty()) {
+    telemetry::publish_thread_pool_metrics();
+    try {
+      telemetry::metrics().dump_file(metrics_out_);
+      std::cerr << "[telemetry] wrote metrics to " << metrics_out_ << "\n";
+    } catch (const Error& e) {
+      std::cerr << "[telemetry] failed to write " << metrics_out_ << ": " << e.what() << "\n";
+    }
+  }
+  if (json_out_dir_.empty()) {
+    return;
+  }
+  // Never let artifact writing turn a passing figure into a failing one —
+  // report and continue (the destructor also must not throw).
   try {
-    telemetry::metrics().dump_file(metrics_out_);
-    std::cerr << "[telemetry] wrote metrics to " << metrics_out_ << "\n";
-  } catch (const Error& e) {
-    std::cerr << "[telemetry] failed to write " << metrics_out_ << ": " << e.what() << "\n";
+    if (figure_.empty()) {
+      std::cerr << "[bench] --json-out ignored: harness never called set_figure()\n";
+      return;
+    }
+    std::filesystem::create_directories(json_out_dir_);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    util::Json doc = util::Json::object();
+    doc["figure"] = figure_;
+    doc["threads"] = util::global_threads();
+    doc["host_wall_s"] = wall_s;
+    doc["rows"] = std::move(rows_);
+    const std::string path = json_out_dir_ + "/BENCH_" + figure_ + ".json";
+    doc.dump_file(path);
+    std::cerr << "[bench] wrote " << path << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "[bench] failed to write BENCH json: " << e.what() << "\n";
   }
 }
 

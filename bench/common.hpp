@@ -7,6 +7,7 @@
 // under the repository's data/ directory.
 #pragma once
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "core/evaluator.hpp"
 #include "core/feature_space.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace acclaim::benchharness {
@@ -75,9 +77,15 @@ void banner(const std::string& figure, const std::string& claim);
 ///                       or the ACCLAIM_THREADS environment variable)
 ///   --metrics-out FILE  write a metrics-registry JSON snapshot on exit
 ///                       (render with `acclaim report --metrics FILE`)
+///   --audit-out FILE    stream per-decision audit records (JSONL) for the
+///                       whole run (replay with `acclaim explain FILE`)
+///   --json-out DIR      write DIR/BENCH_<figure>.json on exit: figure id,
+///                       the key result rows the harness registered with
+///                       add_row(), and the host-wall runtime — the
+///                       machine-readable artifact CI tracks across PRs
 /// Recognized flags (and their values) are consumed from argc/argv so
 /// figure-specific positional arguments (--ablation, --naive) keep working.
-/// The destructor publishes thread-pool stats and writes the snapshot.
+/// The destructor publishes thread-pool stats and writes the snapshots.
 class BenchEnv {
  public:
   BenchEnv(int& argc, char** argv);
@@ -85,8 +93,21 @@ class BenchEnv {
   BenchEnv(const BenchEnv&) = delete;
   BenchEnv& operator=(const BenchEnv&) = delete;
 
+  /// Names the BENCH_<figure>.json artifact (e.g. "fig12"). Call once,
+  /// before the destructor runs; without it --json-out is an error.
+  void set_figure(const std::string& id);
+
+  /// Registers one machine-readable result row (a flat JSON object mirroring
+  /// what the figure prints/CSVs). Cheap no-op when --json-out is off.
+  void add_row(util::Json row);
+
  private:
   std::string metrics_out_;
+  std::string audit_out_;
+  std::string json_out_dir_;
+  std::string figure_;
+  util::Json rows_ = util::Json::array();
+  std::chrono::steady_clock::time_point start_;
 };
 
 }  // namespace acclaim::benchharness

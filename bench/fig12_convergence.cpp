@@ -16,6 +16,7 @@ using benchharness::bebop_dataset;
 
 int main(int argc, char** argv) {
   benchharness::BenchEnv bench_env(argc, argv);
+  bench_env.set_figure("fig12");
   benchharness::banner("Fig. 12: variance convergence vs slowdown convergence",
                        "Expectation: variance stops near the slowdown point with low final slowdown");
 
@@ -74,6 +75,14 @@ int main(int argc, char** argv) {
                    util::fixed(final_slow, 3)});
     csv.row_numeric({static_cast<double>(static_cast<int>(c)), slow_conv, var_conv,
                      final_slow});
+    {
+      util::Json row = util::Json::object();
+      row["collective"] = coll::collective_name(c);
+      row["slowdown_conv_s"] = slow_conv;
+      row["variance_conv_s"] = var_conv;
+      row["final_slowdown"] = final_slow;
+      bench_env.add_row(std::move(row));
+    }
     if (both) {
       var_total += var_conv;
       slow_total += slow_conv;

@@ -66,6 +66,7 @@ std::pair<double, double> training_band() {
 
 int main(int argc, char** argv) {
   benchharness::BenchEnv bench_env(argc, argv);
+  bench_env.set_figure("fig15");
   benchharness::banner("Fig. 15: minimum application runtime for overall acceleration",
                        "Expectation: ~1.01x speedup needs a few hours; >=1.05x well under an hour");
 
@@ -83,6 +84,11 @@ int main(int argc, char** argv) {
     table.add_row({util::fixed(s, 3) + "x", util::format_seconds(lo),
                    util::format_seconds(hi)});
     csv.row_numeric({s, lo, hi});
+    util::Json row = util::Json::object();
+    row["speedup"] = s;
+    row["breakeven_lo_s"] = lo;
+    row["breakeven_hi_s"] = hi;
+    bench_env.add_row(std::move(row));
   }
   table.print(std::cout);
   std::cout << "\n(paper: 1.01x -> 6.4-9.5 hours, well within common Theta job durations)\n";

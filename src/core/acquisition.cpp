@@ -1,8 +1,11 @@
 #include "core/acquisition.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 
+#include "core/feature_space.hpp"
+#include "telemetry/audit.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/error.hpp"
@@ -31,10 +34,8 @@ namespace {
 /// thread pool; the pick itself — argmax scan or the single weighted draw —
 /// stays sequential over the in-order variance vector, so the chosen index
 /// and the rng stream are independent of the thread count.
-std::size_t pick_by_variance(const CollectiveModel& model,
-                             const std::vector<bench::BenchmarkPoint>& pool, VariancePick mode,
-                             util::Rng& rng) {
-  const std::vector<double> var = model.jackknife_variances(pool);
+std::size_t pick_from_variances(const std::vector<double>& var, VariancePick mode,
+                                util::Rng& rng) {
   if (mode == VariancePick::Argmax) {
     std::size_t best = 0;
     double best_var = -1.0;
@@ -59,7 +60,13 @@ std::size_t pick_by_variance(const CollectiveModel& model,
     }
     pick -= w;
   }
-  return pool.size() - 1;
+  return var.size() - 1;
+}
+
+std::size_t pick_by_variance(const CollectiveModel& model,
+                             const std::vector<bench::BenchmarkPoint>& pool, VariancePick mode,
+                             util::Rng& rng) {
+  return pick_from_variances(model.jackknife_variances(pool), mode, rng);
 }
 
 }  // namespace
@@ -84,8 +91,16 @@ AcquisitionPolicy::Pick AcclaimAcquisition::next(const CollectiveModel& model,
                                                  TuningEnvironment& env, util::Rng& rng) {
   require(!pool.empty(), "acquisition requires a non-empty pool");
   ++picks_;
-  const std::size_t best =
-      model.trained() ? pick_by_variance(model, pool, config_.pick, rng) : rng.index(pool.size());
+  // The variance sweep is kept (not recomputed) so the audit record can name
+  // the runner-up candidate without a second forest pass.
+  std::vector<double> var;
+  std::size_t best;
+  if (model.trained()) {
+    var = model.jackknife_variances(pool);
+    best = pick_from_variances(var, config_.pick, rng);
+  } else {
+    best = rng.index(pool.size());
+  }
   bench::BenchmarkPoint point = pool[best];
   const bool nonp2_turn = config_.nonp2_cadence > 0 && picks_ % config_.nonp2_cadence == 0;
   bool swapped = false;
@@ -113,9 +128,49 @@ AcquisitionPolicy::Pick AcclaimAcquisition::next(const CollectiveModel& model,
     ev.fields["algorithm"] = coll::algorithm_info(point.algorithm).name;
     // The signal that drove the pick: the chosen point's jackknife variance
     // under the current model (0 during the random seed phase).
-    ev.fields["variance"] = model.trained() ? model.jackknife_variance(pool[best]) : 0.0;
+    ev.fields["variance"] = var.empty() ? 0.0 : var[best];
     ev.fields["nonp2"] = swapped;
     telemetry::tracer().record(std::move(ev));
+  }
+  if (telemetry::audit().enabled()) {
+    // This site sits on the learner's serial loop (det-audit-order): one
+    // next() call per acquisition round, never inside a parallel_for.
+    const auto start = std::chrono::steady_clock::now();
+    telemetry::DecisionRecord rec;
+    rec.kind = telemetry::DecisionKind::Acquisition;
+    rec.source = "policy";
+    rec.collective = coll::collective_name(point.scenario.collective);
+    rec.nnodes = point.scenario.nnodes;
+    rec.ppn = point.scenario.ppn;
+    rec.msg_bytes = point.scenario.msg_bytes;
+    rec.features = encode_point(point);
+    rec.chosen = coll::algorithm_info(point.algorithm).name;
+    if (!var.empty()) {
+      rec.variance = var[best];
+      rec.acq_score = var[best];
+      std::size_t second = best == 0 ? (var.size() > 1 ? 1 : 0) : 0;
+      for (std::size_t i = 0; i < var.size(); ++i) {
+        if (i != best && var[i] > var[second]) {
+          second = i;
+        }
+      }
+      if (second != best) {
+        rec.runner_up = coll::algorithm_info(pool[second].algorithm).name;
+        // Relative score gap: how much more informative the pick looked than
+        // the next-best candidate (negative under weighted sampling when a
+        // lower-variance point won the draw).
+        rec.margin = var[second] > 0.0 ? var[best] / var[second] - 1.0 : 0.0;
+      }
+      rec.tree_evals =
+          static_cast<std::int64_t>(pool.size()) * static_cast<std::int64_t>(model.n_trees());
+    }
+    rec.pool_size = static_cast<std::int64_t>(pool.size());
+    rec.round = static_cast<std::int64_t>(picks_);
+    rec.nonp2 = swapped;
+    telemetry::audit().record(std::move(rec));
+    telemetry::observe_decision_cost(
+        std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - start)
+            .count());
   }
   return {best, point};
 }

@@ -1,9 +1,13 @@
 #include "core/active_learner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "core/feature_space.hpp"
+#include "telemetry/audit.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -25,6 +29,7 @@ void ActiveLearner::set_monitor(std::function<double(const CollectiveModel&)> pr
 }
 
 TrainingResult ActiveLearner::run() {
+  telemetry::ScopedTimer timer("learner.run");
   if (config_.threads > 0) {
     util::set_global_threads(config_.threads);
   }
@@ -124,6 +129,38 @@ TrainingResult ActiveLearner::run() {
               ev.fields["batched"] = true;
               telemetry::tracer().record(std::move(ev));
             }
+          }
+          if (telemetry::audit().enabled()) {
+            // One record per batch round (the batch path bypasses
+            // policy_.next(), which covers the sequential path). Emitted on
+            // the learner's serial loop — det-audit-order.
+            const auto start = std::chrono::steady_clock::now();
+            const bench::BenchmarkPoint& top = batch.items.front().point;
+            telemetry::DecisionRecord rec;
+            rec.kind = telemetry::DecisionKind::Acquisition;
+            rec.source = "policy";
+            rec.collective = coll::collective_name(collective_);
+            rec.nnodes = top.scenario.nnodes;
+            rec.ppn = top.scenario.ppn;
+            rec.msg_bytes = top.scenario.msg_bytes;
+            rec.features = encode_point(top);
+            rec.chosen = coll::algorithm_info(top.algorithm).name;
+            if (batch.items.size() > 1) {
+              rec.runner_up = coll::algorithm_info(batch.items[1].point.algorithm).name;
+            }
+            // One extra forest query prices the batch's top pick; a full
+            // pool sweep here would double the acquisition cost.
+            rec.variance = result.model.jackknife_variance(top);
+            rec.acq_score = rec.variance;
+            rec.pool_size = static_cast<std::int64_t>(pool.size());
+            rec.round = static_cast<std::int64_t>(result.iterations);
+            rec.batch_size = static_cast<std::int64_t>(batch.items.size());
+            rec.tree_evals = static_cast<std::int64_t>(result.model.n_trees());
+            telemetry::audit().record(std::move(rec));
+            telemetry::observe_decision_cost(
+                std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() -
+                                                         start)
+                    .count());
           }
           // Erase consumed pool entries (descending index order).
           std::vector<std::size_t> consumed = batch.consumed;

@@ -122,4 +122,67 @@ coll::Algorithm CollectiveModel::select(const bench::Scenario& s) const {
   return best;
 }
 
+SelectionExplanation CollectiveModel::explain(const bench::Scenario& s) const {
+  require(trained(), "model not trained");
+  require(s.collective == collective_, "scenario belongs to a different collective");
+  const auto algorithms = coll::algorithms_for(collective_);
+
+  SelectionExplanation ex;
+  ex.candidates.reserve(algorithms.size());
+  // Per-candidate per-tree predictions; kept so votes and the chosen
+  // candidate's variance come from one prediction pass.
+  std::vector<std::vector<double>> tree_preds;
+  tree_preds.reserve(algorithms.size());
+  for (coll::Algorithm a : algorithms) {
+    thread_local std::vector<double> preds;
+    forest_.predict_trees(encode_point(bench::BenchmarkPoint{s, a}), preds);
+    const ml::PredictionStats stats = ml::summarize_predictions(preds);
+    SelectionExplanation::Candidate c;
+    c.algorithm = a;
+    c.predicted_log_us = stats.mean;  // bitwise-equal to predict_log_us
+    ex.candidates.push_back(c);
+    tree_preds.push_back(preds);
+  }
+  ex.tree_evals = static_cast<std::int64_t>(algorithms.size() * forest_.n_trees());
+
+  // Per-tree votes: each tree votes for the candidate it scored strictly
+  // fastest (ties keep the earlier candidate, matching select()'s `<`).
+  for (std::size_t t = 0; t < forest_.n_trees(); ++t) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < tree_preds.size(); ++c) {
+      if (tree_preds[c][t] < tree_preds[best][t]) {
+        best = c;
+      }
+    }
+    ++ex.candidates[best].votes;
+  }
+
+  // Argmin / runner-up over the candidate means, with select()'s tie-break.
+  std::size_t chosen = 0;
+  for (std::size_t c = 1; c < ex.candidates.size(); ++c) {
+    if (ex.candidates[c].predicted_log_us < ex.candidates[chosen].predicted_log_us) {
+      chosen = c;
+    }
+  }
+  ex.chosen = ex.candidates[chosen].algorithm;
+  ex.runner_up = ex.chosen;
+  if (ex.candidates.size() > 1) {
+    std::size_t second = chosen == 0 ? 1 : 0;
+    for (std::size_t c = 0; c < ex.candidates.size(); ++c) {
+      if (c != chosen &&
+          ex.candidates[c].predicted_log_us < ex.candidates[second].predicted_log_us) {
+        second = c;
+      }
+    }
+    ex.runner_up = ex.candidates[second].algorithm;
+    ex.has_runner_up = true;
+    ex.margin = std::exp(ex.candidates[second].predicted_log_us -
+                         ex.candidates[chosen].predicted_log_us) -
+                1.0;
+  }
+  ex.variance = ml::jackknife_variance(tree_preds[chosen]);
+  ex.features = encode_point(bench::BenchmarkPoint{s, ex.chosen});
+  return ex;
+}
+
 }  // namespace acclaim::core

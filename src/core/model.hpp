@@ -21,6 +21,31 @@ struct LabeledPoint {
 /// paper uses it (100 estimators, unlimited depth, bootstrap).
 ml::ForestParams default_forest_params();
 
+/// A fully-explained selection decision, produced by CollectiveModel::explain
+/// for the decision flight recorder. Candidates appear in algorithms_for()
+/// order; `chosen` names the same argmin select() computes (the per-candidate
+/// means accumulate per-tree predictions in tree order, which is bitwise-
+/// identical to RandomForest::predict).
+struct SelectionExplanation {
+  struct Candidate {
+    coll::Algorithm algorithm;
+    double predicted_log_us = 0.0;
+    int votes = 0;  ///< trees that scored this algorithm (strictly) fastest
+  };
+  std::vector<Candidate> candidates;
+  std::vector<double> features;  ///< encoded row of the chosen candidate
+  coll::Algorithm chosen;
+  coll::Algorithm runner_up;  ///< == chosen when there is only one candidate
+  bool has_runner_up = false;
+  /// exp(runner_log - chosen_log) - 1: how much slower the second-best
+  /// algorithm is predicted to be. 0 without a runner-up.
+  double margin = 0.0;
+  /// Jackknife variance of the chosen candidate's per-tree predictions.
+  double variance = 0.0;
+  /// Virtual decision cost: tree evaluations spent (candidates x trees).
+  std::int64_t tree_evals = 0;
+};
+
 /// Predicts per-algorithm execution time for a collective and selects the
 /// algorithm with the lowest prediction.
 class CollectiveModel {
@@ -31,6 +56,8 @@ class CollectiveModel {
   coll::Collective collective() const noexcept { return collective_; }
   bool trained() const noexcept { return forest_.fitted(); }
   std::size_t training_points() const noexcept { return n_points_; }
+  /// Ensemble size (0 before training) — the audit log's virtual-cost unit.
+  std::size_t n_trees() const noexcept { return forest_.n_trees(); }
 
   /// (Re)fits the forest on the collected points. Throws InvalidArgument on
   /// an empty set or on points of a different collective.
@@ -61,6 +88,12 @@ class CollectiveModel {
 
   /// The algorithm with the lowest predicted time for the scenario.
   coll::Algorithm select(const bench::Scenario& s) const;
+
+  /// select() with its work shown: per-candidate mean predictions and tree
+  /// votes, runner-up and margin, and the chosen candidate's jackknife
+  /// variance. Guaranteed to choose the same algorithm as select() for the
+  /// same scenario. Serial and deterministic — safe to feed the audit log.
+  SelectionExplanation explain(const bench::Scenario& s) const;
 
   /// Serializes the trained model (collective + forest) so a job can reuse
   /// it or inspect it offline. Requires trained().

@@ -4,6 +4,7 @@
 
 #include "core/acquisition.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -19,6 +20,7 @@ AcclaimPipeline::AcclaimPipeline(simnet::MachineConfig machine, ActiveLearnerCon
 }
 
 PipelineResult AcclaimPipeline::run(const JobSpec& spec) const {
+  telemetry::ScopedTimer timer("pipeline.run");
   require(!spec.collectives.empty(), "job must name at least one collective to tune");
   require(spec.nnodes >= 2 && spec.ppn >= 1, "job needs at least 2 nodes and 1 ppn");
   require(spec.min_msg >= 1 && spec.min_msg <= spec.max_msg, "bad message-size range");
@@ -55,6 +57,7 @@ PipelineResult AcclaimPipeline::run(const JobSpec& spec) const {
     ActiveLearnerConfig cfg = learner_;
     cfg.seed = spec.job_seed ^ (static_cast<std::uint64_t>(c) + 0x51ULL);
     ActiveLearner learner(c, space, env, policy, cfg);
+    telemetry::ScopedTimer coll_timer(coll::collective_name(c));
     telemetry::ScopedPhase phase(std::string("train:") + coll::collective_name(c));
     const double before_s = env.clock_s();
     TrainingResult tr = learner.run();

@@ -1,12 +1,41 @@
 #include "core/rulegen.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <limits>
 
+#include "telemetry/audit.hpp"
+#include "telemetry/profiler.hpp"
 #include "util/error.hpp"
 
 namespace acclaim::core {
+
+namespace {
+
+/// Flattens a model explanation into the telemetry layer's string-and-number
+/// DecisionRecord shape (telemetry sits below core and cannot see coll::
+/// types). Scenario fields and seq are filled by the caller / the log.
+telemetry::DecisionRecord selection_record(const SelectionExplanation& ex) {
+  telemetry::DecisionRecord rec;
+  rec.kind = telemetry::DecisionKind::Selection;
+  rec.source = "model";
+  rec.features = ex.features;
+  rec.scores.reserve(ex.candidates.size());
+  for (const SelectionExplanation::Candidate& c : ex.candidates) {
+    rec.scores.push_back({coll::algorithm_info(c.algorithm).name, c.predicted_log_us, c.votes});
+  }
+  rec.chosen = coll::algorithm_info(ex.chosen).name;
+  if (ex.has_runner_up) {
+    rec.runner_up = coll::algorithm_info(ex.runner_up).name;
+    rec.margin = ex.margin;
+  }
+  rec.variance = ex.variance;
+  rec.tree_evals = ex.tree_evals;
+  return rec;
+}
+
+}  // namespace
 
 void RuleTable::set_bucket(BucketKey key, std::vector<SelectionRule> rules) {
   require(!rules.empty(), "bucket must contain at least one rule");
@@ -65,9 +94,32 @@ void RuleTable::validate() const {
 RuleTable RuleGenerator::generate(const CollectiveModel& model, const FeatureSpace& space,
                                   RuleGeneratorStats* stats) const {
   require(model.trained(), "rule generation requires a trained model");
+  telemetry::ScopedTimer timer("rulegen.generate");
   const coll::Collective c = model.collective();
   RuleTable table(c);
   RuleGeneratorStats local;
+  // Audited selection: when the flight recorder is on, every model query the
+  // grid walk makes becomes one Selection record with the full per-candidate
+  // breakdown (explain() is guaranteed to name select()'s argmin). The walk
+  // is serial, so record order is thread-count-independent
+  // (det-audit-order); when auditing is off this is exactly model.select().
+  auto select_audited = [&](const bench::Scenario& s) {
+    if (!telemetry::audit().enabled()) {
+      return model.select(s);
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const SelectionExplanation ex = model.explain(s);
+    telemetry::DecisionRecord rec = selection_record(ex);
+    rec.collective = coll::collective_name(s.collective);
+    rec.nnodes = s.nnodes;
+    rec.ppn = s.ppn;
+    rec.msg_bytes = s.msg_bytes;
+    telemetry::audit().record(std::move(rec));
+    telemetry::observe_decision_cost(
+        std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - start)
+            .count());
+    return ex.chosen;
+  };
   for (int nnodes : space.nodes()) {
     for (int ppn : space.ppns()) {
       const auto& msgs = space.msgs();
@@ -75,9 +127,9 @@ RuleTable RuleGenerator::generate(const CollectiveModel& model, const FeatureSpa
       auto scenario = [&](std::uint64_t msg) {
         return bench::Scenario{c, nnodes, ppn, msg};
       };
-      coll::Algorithm current = model.select(scenario(msgs.front()));
+      coll::Algorithm current = select_audited(scenario(msgs.front()));
       for (std::size_t i = 1; i < msgs.size(); ++i) {
-        const coll::Algorithm next = model.select(scenario(msgs[i]));
+        const coll::Algorithm next = select_audited(scenario(msgs[i]));
         if (next == current) {
           continue;
         }
@@ -86,7 +138,7 @@ RuleTable RuleGenerator::generate(const CollectiveModel& model, const FeatureSpa
         const std::uint64_t a = msgs[i - 1];
         const std::uint64_t cm = msgs[i];
         const std::uint64_t b = a + (cm - a) / 2;
-        const coll::Algorithm alg_b = model.select(scenario(b));
+        const coll::Algorithm alg_b = select_audited(scenario(b));
         ++local.midpoint_queries;
         rules.push_back({a, current});
         rules.push_back({cm - 1, alg_b});
@@ -201,7 +253,26 @@ coll::Algorithm SelectionEngine::select(const bench::Scenario& s) const {
     throw NotFoundError(std::string("selection engine has no rules for ") +
                         coll::collective_name(s.collective));
   }
-  return it->second.lookup(s);
+  const coll::Algorithm alg = it->second.lookup(s);
+  if (telemetry::audit().enabled()) {
+    // Rule lookups have no candidate scores (the table already collapsed
+    // them); the record still captures what was asked and what was served —
+    // the runtime-selection half of the flight recorder.
+    const auto start = std::chrono::steady_clock::now();
+    telemetry::DecisionRecord rec;
+    rec.kind = telemetry::DecisionKind::Selection;
+    rec.source = "rules";
+    rec.collective = coll::collective_name(s.collective);
+    rec.nnodes = s.nnodes;
+    rec.ppn = s.ppn;
+    rec.msg_bytes = s.msg_bytes;
+    rec.chosen = coll::algorithm_info(alg).name;
+    telemetry::audit().record(std::move(rec));
+    telemetry::observe_decision_cost(
+        std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  return alg;
 }
 
 }  // namespace acclaim::core

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/trace.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -18,6 +19,7 @@ CollectionBatch CollectionScheduler::plan(const std::vector<bench::BenchmarkPoin
                                           const simnet::Topology& topo,
                                           const simnet::Allocation& alloc,
                                           const SoloCostFn& solo_cost) const {
+  telemetry::ScopedTimer timer("scheduler.plan");
   CollectionBatch batch;
   // Nodes are consumed strictly left-to-right in allocation order, so the
   // used region is always a prefix and `cursor` fully describes it.

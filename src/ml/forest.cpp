@@ -1,8 +1,10 @@
 #include "ml/forest.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -12,6 +14,7 @@ void RandomForest::fit(const std::vector<FeatureRow>& X, const std::vector<doubl
                        const ForestParams& params, std::uint64_t seed) {
   require(params.n_trees >= 1, "forest requires at least one tree");
   require(!X.empty() && X.size() == y.size(), "forest requires non-empty, aligned X/y");
+  telemetry::ScopedTimer timer("forest.fit");
   const auto start = std::chrono::steady_clock::now();
   trees_.assign(static_cast<std::size_t>(params.n_trees), DecisionTree{});
   // One independent stream per tree, derived from the run seed *before* the
@@ -97,6 +100,22 @@ RandomForest RandomForest::from_json(const util::Json& doc) {
   }
   require(forest.fitted(), "serialized forest must contain at least one tree");
   return forest;
+}
+
+PredictionStats summarize_predictions(const std::vector<double>& tree_preds) {
+  require(!tree_preds.empty(), "summarize_predictions requires at least one prediction");
+  PredictionStats stats;
+  stats.min = tree_preds.front();
+  stats.max = tree_preds.front();
+  double sum = 0.0;
+  for (double v : tree_preds) {
+    sum += v;  // tree order, matching RandomForest::predict exactly
+    stats.min = std::min(stats.min, v);
+    stats.max = std::max(stats.max, v);
+  }
+  stats.mean = sum / static_cast<double>(tree_preds.size());
+  stats.variance = jackknife_variance(tree_preds);
+  return stats;
 }
 
 double jackknife_variance(const std::vector<double>& values) {

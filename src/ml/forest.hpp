@@ -47,4 +47,19 @@ class RandomForest {
 /// variance = sum((mean - sample_i)^2) / (n - 1). Returns 0 for n < 2.
 double jackknife_variance(const std::vector<double>& values);
 
+/// One-pass summary of a per-tree prediction vector, used by the decision
+/// flight recorder to explain what the ensemble saw for one candidate.
+struct PredictionStats {
+  double mean = 0.0;      ///< sum-in-tree-order / n — bitwise-equal to predict()
+  double min = 0.0;
+  double max = 0.0;
+  double variance = 0.0;  ///< jackknife variance of the per-tree predictions
+};
+
+/// Summarizes `tree_preds` (the predict_trees output). The mean accumulates
+/// in tree order, so it is bitwise-identical to RandomForest::predict on the
+/// same row — an explanation built from these stats names the same argmin
+/// the selection path computed. Requires a non-empty vector.
+PredictionStats summarize_predictions(const std::vector<double>& tree_preds);
+
 }  // namespace acclaim::ml

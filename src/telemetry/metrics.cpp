@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
 #include "util/error.hpp"
@@ -222,6 +223,78 @@ double percentile_from_buckets(const std::vector<BucketSlice>& buckets, std::uin
     seen = after;
   }
   return max_v;  // rank beyond the recorded buckets (p == 1 edge)
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our instrument names use
+/// '.' (and occasionally '-') as separators.
+std::string prom_name(const std::string& name) {
+  std::string out = "acclaim_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void prom_value(std::string& out, double v) {
+  if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string prometheus_text(const MetricsRegistry& registry) {
+  // Built from the JSON snapshot rather than the live instruments so the
+  // exposition and --metrics-out always agree on one consistent read.
+  const util::Json snap = registry.to_json();
+  std::string out;
+
+  for (const auto& [name, value] : snap.at("counters").as_object()) {
+    const std::string n = prom_name(name) + "_total";
+    out += "# TYPE " + n + " counter\n";
+    out += n + " ";
+    prom_value(out, value.as_number());
+    out += "\n";
+  }
+  for (const auto& [name, value] : snap.at("gauges").as_object()) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " ";
+    prom_value(out, value.as_number());
+    out += "\n";
+  }
+  for (const auto& [name, hist] : snap.at("histograms").as_object()) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " histogram\n";
+    // Our buckets are sparse per-bucket counts; Prometheus buckets are
+    // cumulative and must end with le="+Inf".
+    std::uint64_t cum = 0;
+    for (const util::Json& b : hist.at("buckets").as_array()) {
+      cum += static_cast<std::uint64_t>(b.at("n").as_int());
+      const util::Json& le = b.at("le");
+      if (le.is_string()) {
+        continue;  // overflow bucket folds into +Inf below
+      }
+      out += n + "_bucket{le=\"";
+      prom_value(out, le.as_number());
+      out += "\"} " + std::to_string(cum) + "\n";
+    }
+    const auto count = static_cast<std::uint64_t>(hist.at("count").as_int());
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(count) + "\n";
+    out += n + "_sum ";
+    prom_value(out, hist.at("sum").as_number());
+    out += "\n";
+    out += n + "_count " + std::to_string(count) + "\n";
+  }
+  return out;
 }
 
 void publish_thread_pool_metrics() {

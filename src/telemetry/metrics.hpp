@@ -155,6 +155,14 @@ struct BucketSlice {
 double percentile_from_buckets(const std::vector<BucketSlice>& buckets, std::uint64_t count,
                                double min_v, double max_v, double p);
 
+/// Prometheus text-format (version 0.0.4) exposition of a registry snapshot:
+/// counters as `acclaim_<name>_total`, gauges as `acclaim_<name>`, histograms
+/// as the cumulative `_bucket{le=...}` / `_sum` / `_count` series, each with a
+/// `# TYPE` line. Instrument names are sanitized ('.' and '-' become '_').
+/// This is the exposition the future acclaimd daemon will serve on /metrics;
+/// the CLI exposes it today via --prom-out for scrape-pipeline dry runs.
+std::string prometheus_text(const MetricsRegistry& registry);
+
 /// Copies the global thread pool's usage counters into the registry as
 /// gauges (threadpool.threads, .tasks_executed, .parallel_fors,
 /// .inline_runs, .queue_peak). The pool lives below telemetry in the layer

@@ -203,6 +203,24 @@ void render_metrics_summary(const util::Json& metrics_doc, std::ostream& os) {
   table.print(os);
 }
 
+util::Json load_metrics_snapshot(const std::string& path) {
+  util::Json doc;
+  try {
+    doc = util::Json::parse_file(path);
+  } catch (const IoError&) {
+    throw InvalidArgument("metrics file missing or unreadable: " + path);
+  } catch (const ParseError& e) {
+    throw InvalidArgument("metrics file is not valid JSON: " + path + " (" + e.what() + ")");
+  }
+  if (!doc.is_object() || !doc.contains("counters") || !doc.contains("gauges") ||
+      !doc.contains("histograms")) {
+    throw InvalidArgument("metrics file is not a metrics snapshot (expected "
+                          "counters/gauges/histograms objects): " +
+                          path);
+  }
+  return doc;
+}
+
 util::Json chrome_trace_json(const std::vector<TraceEvent>& events) {
   util::JsonArray out;
   for (const TraceEvent& ev : events) {

@@ -76,6 +76,12 @@ void render_report(const RunReport& report, std::ostream& os, int max_trajectory
 /// document is not a metrics snapshot.
 void render_metrics_summary(const util::Json& metrics_doc, std::ostream& os);
 
+/// Loads a --metrics-out snapshot for render_metrics_summary, turning every
+/// failure mode into one clear InvalidArgument line naming the path: file
+/// missing or unreadable, file empty, JSON malformed, or JSON valid but not
+/// a metrics snapshot (missing counters/gauges/histograms objects).
+util::Json load_metrics_snapshot(const std::string& path);
+
 /// Converts a trace to the chrome://tracing / Perfetto JSON object format
 /// ({"traceEvents": [...]}, timestamps in microseconds since the tracer
 /// epoch):

@@ -22,8 +22,12 @@
 #include "ml/forest.hpp"
 #include "simnet/machine.hpp"
 #include "simnet/topology.hpp"
+#include "telemetry/audit.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+
+#include <cstdio>
+#include <fstream>
 
 namespace {
 
@@ -325,6 +329,49 @@ TEST(GoldenDeterminism, FullTuneJobBitwiseIdenticalAcrossThreads) {
   EXPECT_GT(golden.size(), 500u);
   for (int threads : kThreadCounts) {
     EXPECT_EQ(tune_job_fingerprint(threads), golden) << "threads=" << threads;
+  }
+}
+
+/// Raw bytes of the audit log a fixed-seed tune-job streams. DecisionRecords
+/// carry no wall-clock data and every emission site sits on the serial
+/// decision path, so the file must be bitwise-identical for any --threads.
+std::string audited_tune_job_log(int threads) {
+  util::set_global_threads(threads);
+  const std::string path =
+      testing::TempDir() + "audit_det_t" + std::to_string(threads) + ".jsonl";
+  telemetry::audit().disable();  // resets the sequence counter
+  telemetry::audit().open_stream(path);
+
+  core::ActiveLearnerConfig learner;
+  learner.forest.n_trees = 24;
+  learner.max_points = 48;
+  core::AcclaimPipeline pipeline(golden_machine(), learner);
+  core::JobSpec spec;
+  spec.collectives = {coll::Collective::Bcast};
+  spec.nnodes = 8;
+  spec.ppn = 4;
+  spec.min_msg = 64;
+  spec.max_msg = 16 * 1024;
+  spec.job_seed = 9;
+  spec.machine_busy_fraction = 0.2;
+  pipeline.run(spec);
+
+  telemetry::audit().disable();  // flushes and closes the stream
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  std::remove(path.c_str());
+  return bytes.str();
+}
+
+TEST(GoldenDeterminism, AuditLogBitwiseIdenticalAcrossThreads) {
+  ThreadGuard guard;
+  const std::string golden = audited_tune_job_log(1);
+  // The run must actually have produced decisions (acquisition rounds plus
+  // the rule-generation selections).
+  EXPECT_GT(golden.size(), 1000u);
+  for (int threads : kThreadCounts) {
+    EXPECT_EQ(audited_tune_job_log(threads), golden) << "threads=" << threads;
   }
 }
 

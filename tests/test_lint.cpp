@@ -226,6 +226,66 @@ TEST(LintParallel, SubmitLambdasAreCoveredToo) {
 }
 
 // ---------------------------------------------------------------------------
+// det-audit-order
+// ---------------------------------------------------------------------------
+
+TEST(LintAuditOrder, FlagsAuditEmissionInsideParallelFor) {
+  const std::string src =
+      "void f(util::ThreadPool& pool, std::vector<double>& out) {\n"
+      "  pool.parallel_for(0, out.size(), [&](std::size_t i) {\n"
+      "    out[i] = 1.0;\n"
+      "    telemetry::audit().record(make_record(i));\n"
+      "  });\n"
+      "}\n";
+  const auto findings = lint_source("src/core/x.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "det-audit-order");
+  EXPECT_EQ(findings[0].severity, lint::Severity::Error);
+}
+
+TEST(LintAuditOrder, FlagsRecordConstructionAndCostObservationToo) {
+  const std::string record_src =
+      "void f(util::ThreadPool& pool, std::vector<double>& out) {\n"
+      "  pool.parallel_for(0, out.size(), [&](std::size_t i) {\n"
+      "    telemetry::DecisionRecord rec;\n"
+      "    out[i] = 1.0;\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(has_check(lint_source("src/core/x.cpp", record_src), "det-audit-order"));
+
+  const std::string cost_src =
+      "void f(util::ThreadPool& pool, std::vector<double>& out) {\n"
+      "  pool.submit([&] { telemetry::observe_decision_cost(5.0); });\n"
+      "}\n";
+  EXPECT_TRUE(has_check(lint_source("src/core/x.cpp", cost_src), "det-audit-order"));
+}
+
+TEST(LintAuditOrder, SerialEmissionAfterTheParallelRegionIsFine) {
+  const std::string src =
+      "void f(util::ThreadPool& pool, std::vector<double>& out) {\n"
+      "  pool.parallel_for(0, out.size(), [&](std::size_t i) {\n"
+      "    out[i] = 1.0;\n"
+      "  });\n"
+      "  telemetry::DecisionRecord rec;\n"
+      "  telemetry::audit().record(std::move(rec));\n"
+      "  telemetry::observe_decision_cost(5.0);\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());
+}
+
+TEST(LintAuditOrder, UnrelatedAuditIdentifiersDoNotFire) {
+  // An identifier that merely contains "audit" (`auditor`) is not the
+  // telemetry::audit() emission call.
+  const std::string src =
+      "void f(util::ThreadPool& pool, std::vector<double>& out) {\n"
+      "  pool.parallel_for(0, out.size(), [&](std::size_t i) {\n"
+      "    out[i] = auditor.score(i);\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());
+}
+
+// ---------------------------------------------------------------------------
 // hygiene checks
 // ---------------------------------------------------------------------------
 

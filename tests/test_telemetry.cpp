@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/trace.hpp"
 #include "util/error.hpp"
@@ -518,6 +519,182 @@ TEST_F(TelemetryTest, WriteChromeTraceRoundTripsThroughTheParser) {
     EXPECT_TRUE(o.contains("pid"));
     EXPECT_TRUE(o.contains("tid"));
   }
+}
+
+// Golden schema contract for the chrome://tracing export. chrome://tracing
+// and Perfetto silently drop (or worse, misrender) events that violate the
+// trace-event format, so the exporter pins it here: every event carries
+// name/ph/ts/pid/tid, ph is a known phase, timestamps are non-negative, and
+// complete spans have a non-negative duration. If this test fails, the
+// exporter broke the viewer contract — fix the exporter, not the test.
+TEST_F(TelemetryTest, ChromeTraceSchemaGolden) {
+  // A trace that exercises every exporter path: phases (spans), batched
+  // benchmark runs (slot lanes), instants, and the pre-epoch clamp.
+  std::vector<TraceEvent> events = synthetic_trace();
+  TraceEvent early = make_event(EventKind::Phase, "clamped");
+  early.t_wall_ms = 1.0;
+  early.fields["wall_ms"] = 50.0;  // starts before the epoch -> clamped
+  events.push_back(std::move(early));
+
+  const util::Json doc = telemetry::chrome_trace_json(events);
+  const util::JsonArray& tev = doc.as_object().at("traceEvents").as_array();
+  ASSERT_EQ(tev.size(), events.size());
+  for (const util::Json& e : tev) {
+    const util::JsonObject& o = e.as_object();
+    ASSERT_TRUE(o.contains("name"));
+    ASSERT_TRUE(o.contains("ph"));
+    ASSERT_TRUE(o.contains("ts"));
+    ASSERT_TRUE(o.contains("pid"));
+    ASSERT_TRUE(o.contains("tid"));
+    const std::string ph = o.at("ph").as_string();
+    EXPECT_TRUE(ph == "X" || ph == "i") << "unexpected phase " << ph;
+    EXPECT_GE(o.at("ts").as_number(), 0.0);
+    if (ph == "X") {
+      ASSERT_TRUE(o.contains("dur"));
+      EXPECT_GE(o.at("dur").as_number(), 0.0);
+    } else {
+      // Instant events need a scope for the viewer to draw them.
+      EXPECT_EQ(o.at("s").as_string(), "t");
+    }
+  }
+}
+
+// --- prometheus exposition -------------------------------------------------
+
+TEST_F(TelemetryTest, PrometheusTextExposesAllInstrumentKinds) {
+  telemetry::MetricsRegistry& reg = telemetry::metrics();
+  reg.counter("prom.runs").add(3);
+  reg.gauge("prom.level").set(2.5);
+  telemetry::Histogram& h = reg.histogram("prom.lat_us", {1.0, 3});
+  h.observe(1.5);   // finite bucket (le 2)
+  h.observe(100.0); // overflow bucket -> +Inf only
+
+  const std::string text = telemetry::prometheus_text(reg);
+  // Names are sanitized ('.' -> '_') and prefixed; counters get _total.
+  EXPECT_NE(text.find("# TYPE acclaim_prom_runs_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("acclaim_prom_runs_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE acclaim_prom_level gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("acclaim_prom_level 2.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE acclaim_prom_lat_us histogram\n"), std::string::npos);
+  // Buckets are cumulative and end with +Inf == count.
+  EXPECT_NE(text.find("acclaim_prom_lat_us_bucket{le=\"2\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("acclaim_prom_lat_us_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("acclaim_prom_lat_us_sum 101.5\n"), std::string::npos);
+  EXPECT_NE(text.find("acclaim_prom_lat_us_count 2\n"), std::string::npos);
+}
+
+// --- self-profiler ----------------------------------------------------------
+
+TEST_F(TelemetryTest, ScopedTimerBuildsNestedAttributionPaths) {
+  telemetry::profiler().disable();
+  telemetry::profiler().enable();
+  {
+    telemetry::ScopedTimer outer("outer");
+    EXPECT_TRUE(outer.active());
+    telemetry::ScopedTimer inner("inner");
+    EXPECT_TRUE(inner.active());
+  }
+  const auto snap = telemetry::profiler().snapshot();
+  telemetry::profiler().disable();
+  ASSERT_EQ(snap.count("outer"), 1u);
+  ASSERT_EQ(snap.count("outer;inner"), 1u);
+  EXPECT_EQ(snap.at("outer").count, 1u);
+  EXPECT_EQ(snap.at("outer;inner").count, 1u);
+  // Inclusive times: the parent covers the child.
+  EXPECT_GE(snap.at("outer").total_ns, snap.at("outer;inner").total_ns);
+}
+
+TEST_F(TelemetryTest, ScopedTimerIsInertWhenProfilerDisabled) {
+  telemetry::profiler().disable();
+  telemetry::ScopedTimer t("idle");
+  EXPECT_FALSE(t.active());
+  EXPECT_TRUE(telemetry::profiler().snapshot().empty());
+}
+
+TEST_F(TelemetryTest, FoldedStacksExportSelfTimeMinusChildren) {
+  telemetry::profiler().disable();
+  telemetry::profiler().enable();
+  // 10 ms inclusive under "a", of which 4 ms belongs to the direct child
+  // "a;b"; the grandchild must NOT be subtracted from "a" again.
+  telemetry::profiler().record("a", 10'000'000);
+  telemetry::profiler().record("a;b", 4'000'000);
+  telemetry::profiler().record("a;b;c", 1'000'000);
+  const std::string folded = telemetry::profiler().folded();
+  telemetry::profiler().disable();
+  EXPECT_NE(folded.find("a 6000\n"), std::string::npos) << folded;
+  EXPECT_NE(folded.find("a;b 3000\n"), std::string::npos) << folded;
+  EXPECT_NE(folded.find("a;b;c 1000\n"), std::string::npos) << folded;
+}
+
+TEST_F(TelemetryTest, FoldedClampsOverlappingChildrenAndSkipsZeroSelf) {
+  telemetry::profiler().disable();
+  telemetry::profiler().enable();
+  // Concurrent children can sum past the parent (parallel workers); the
+  // parent's self time clamps to zero and its line is elided.
+  telemetry::profiler().record("p", 1'000'000);
+  telemetry::profiler().record("p;w", 3'000'000);
+  const std::string folded = telemetry::profiler().folded();
+  telemetry::profiler().disable();
+  EXPECT_EQ(folded.find("p "), std::string::npos) << folded;
+  EXPECT_NE(folded.find("p;w 3000\n"), std::string::npos) << folded;
+}
+
+TEST_F(TelemetryTest, WriteFoldedThrowsOnUnwritablePath) {
+  telemetry::profiler().disable();
+  EXPECT_THROW(telemetry::profiler().write_folded("/no/such/dir/profile.folded"), IoError);
+}
+
+// --- metrics snapshot loading (acclaim report --metrics) --------------------
+
+TEST_F(TelemetryTest, LoadMetricsSnapshotRoundTripsARealSnapshot) {
+  telemetry::metrics().counter("load.ok").add(2);
+  const std::string path = temp_path("metrics_load.json");
+  telemetry::metrics().dump_file(path);
+  const util::Json doc = telemetry::load_metrics_snapshot(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(doc.at("counters").at("load.ok").as_int(), 2);
+}
+
+TEST_F(TelemetryTest, LoadMetricsSnapshotErrorsAreOneClearLine) {
+  // Missing file.
+  try {
+    telemetry::load_metrics_snapshot(temp_path("no_such_metrics.json"));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("metrics file missing or unreadable"), std::string::npos) << what;
+    EXPECT_NE(what.find("no_such_metrics.json"), std::string::npos) << what;
+    EXPECT_EQ(what.find('\n'), std::string::npos) << what;  // one line
+  }
+
+  // Malformed JSON.
+  const std::string bad = temp_path("metrics_bad.json");
+  {
+    std::ofstream out(bad, std::ios::trunc);
+    out << "{\"counters\": oops";
+  }
+  try {
+    telemetry::load_metrics_snapshot(bad);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("not valid JSON"), std::string::npos) << e.what();
+  }
+
+  // Valid JSON, wrong shape.
+  const std::string shape = temp_path("metrics_shape.json");
+  {
+    std::ofstream out(shape, std::ios::trunc);
+    out << "{\"rows\": []}";
+  }
+  try {
+    telemetry::load_metrics_snapshot(shape);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("not a metrics snapshot"), std::string::npos)
+        << e.what();
+  }
+  std::remove(bad.c_str());
+  std::remove(shape.c_str());
 }
 
 }  // namespace

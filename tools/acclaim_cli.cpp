@@ -12,10 +12,12 @@
 //              resolve one scenario through a generated rule file
 //   inspect    --dataset FILE           dataset summary (per collective)
 //   report     TRACE.jsonl              render a run report from a telemetry trace
+//   explain    AUDIT.jsonl              replay a decision audit log (--audit-out)
 //   breakeven  --training SECONDS --speedup S
 //              minimum application runtime that amortizes training (Fig. 15)
 #include <iostream>
 #include <algorithm>
+#include <fstream>
 #include <set>
 #include <string>
 
@@ -27,7 +29,9 @@
 #include "core/heuristic.hpp"
 #include "core/pipeline.hpp"
 #include "platform/app_model.hpp"
+#include "telemetry/audit.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/trace.hpp"
 #include "util/error.hpp"
@@ -112,11 +116,12 @@ int cmd_collect(const cli::Args& args) {
   return 0;
 }
 
-// Shared --trace-out / --metrics-out / --chrome-out / --threads handling for
-// the training commands. open_telemetry must run before any instrumented
-// work; finish_telemetry flushes the metrics snapshot, closes the trace
-// stream, and converts the run's events to a chrome://tracing document
-// afterwards.
+// Shared --trace-out / --metrics-out / --chrome-out / --audit-out /
+// --profile-out / --prom-out / --threads handling for the training commands.
+// open_telemetry must run before any instrumented work; finish_telemetry
+// flushes the metrics snapshot, closes the trace and audit streams, converts
+// the run's events to a chrome://tracing document, and writes the profiler
+// and Prometheus expositions afterwards.
 void open_telemetry(const cli::Args& args) {
   if (args.has("threads")) {
     util::set_global_threads(args.get_int("threads", 0));
@@ -129,6 +134,12 @@ void open_telemetry(const cli::Args& args) {
     // without a JSON-lines stream destination.
     telemetry::tracer().enable_ring(1 << 20);
   }
+  if (args.has("audit-out")) {
+    telemetry::audit().open_stream(args.get("audit-out"));
+  }
+  if (args.has("profile-out")) {
+    telemetry::profiler().enable();
+  }
 }
 
 void finish_telemetry(const cli::Args& args) {
@@ -138,6 +149,16 @@ void finish_telemetry(const cli::Args& args) {
     telemetry::metrics().dump_file(path);
     std::cout << "wrote metrics to " << path << "\n";
   }
+  if (args.has("prom-out")) {
+    const std::string path = args.get("prom-out");
+    telemetry::publish_thread_pool_metrics();
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      throw IoError("cannot open " + path);
+    }
+    out << telemetry::prometheus_text(telemetry::metrics());
+    std::cout << "wrote Prometheus exposition to " << path << "\n";
+  }
   if (args.has("chrome-out")) {
     const std::string path = args.get("chrome-out");
     telemetry::write_chrome_trace(telemetry::tracer().ring_snapshot(), path);
@@ -146,6 +167,18 @@ void finish_telemetry(const cli::Args& args) {
   if (args.has("trace-out")) {
     telemetry::tracer().close_stream();
     std::cout << "wrote trace to " << args.get("trace-out") << "\n";
+  }
+  if (args.has("audit-out")) {
+    const std::uint64_t n = telemetry::audit().recorded();
+    telemetry::audit().close_stream();
+    std::cout << "wrote audit log to " << args.get("audit-out") << " (" << n
+              << " decisions; inspect with `acclaim explain`)\n";
+  }
+  if (args.has("profile-out")) {
+    const std::string path = args.get("profile-out");
+    telemetry::profiler().write_folded(path);
+    std::cout << "wrote folded stacks to " << path
+              << " (feed to flamegraph.pl or speedscope)\n";
   }
 }
 
@@ -258,8 +291,25 @@ int cmd_report(const cli::Args& args) {
     if (have_trace) {
       std::cout << "\n";
     }
-    telemetry::render_metrics_summary(util::Json::parse_file(args.get("metrics")), std::cout);
+    // load_metrics_snapshot turns a missing/empty/malformed file into one
+    // clear InvalidArgument line, which main() prints before exiting 1 —
+    // instead of rendering a confusing empty report.
+    telemetry::render_metrics_summary(telemetry::load_metrics_snapshot(args.get("metrics")),
+                                      std::cout);
   }
+  return 0;
+}
+
+int cmd_explain(const cli::Args& args) {
+  const std::string path = args.require_flag("audit");
+  const auto records = telemetry::read_audit_file(path);
+  if (records.empty()) {
+    std::cerr << "audit log " << path << " holds no decision records\n";
+    return 1;
+  }
+  const telemetry::ExplainReport report = telemetry::build_explain(records);
+  telemetry::render_explain(report, std::cout, args.get_int("decisions", 4),
+                            args.get_int("rows", 12));
   return 0;
 }
 
@@ -335,11 +385,17 @@ commands:
                   [--trees N] [--max-points N] [--seed K] [--threads N]
                   [--trace-out FILE.jsonl] [--metrics-out FILE.json]
                   [--chrome-out FILE.json]   (chrome://tracing timeline)
+                  [--audit-out FILE.jsonl]   (decision flight recorder)
+                  [--profile-out FILE.folded] [--prom-out FILE.prom]
   tune-job      full pipeline on a simulated job (train + rule file)
                   [--machine theta] [--nodes N] [--ppn P] [--collectives a,b]
                   [--rules OUT] [--max-points N] [--seed K] [--threads N]
                   [--trace-out FILE.jsonl] [--metrics-out FILE.json]
                   [--chrome-out FILE.json]   (chrome://tracing timeline)
+                  [--audit-out FILE.jsonl]   (decision flight recorder)
+                  [--profile-out FILE.folded] [--prom-out FILE.prom]
+  explain       replay an audit log into per-decision "why" reports
+                  AUDIT.jsonl | --audit FILE [--decisions N] [--rows N]
   report        render a run report from a trace and/or metrics snapshot
                   TRACE.jsonl | --trace FILE [--rows N]
                   [--metrics FILE.json]   (histogram p50/p95/p99 summaries)
@@ -374,13 +430,43 @@ int main(int argc, char** argv) {
       return cmd_train(cli::Args(argc - 2, argv + 2,
                                  {"dataset", "collective", "model", "rules", "trees",
                                   "max-points", "seed", "threads", "trace-out",
-                                  "metrics-out", "chrome-out"}));
+                                  "metrics-out", "chrome-out", "audit-out", "profile-out",
+                                  "prom-out"}));
     }
     if (cmd == "tune-job") {
       return cmd_tune_job(cli::Args(argc - 2, argv + 2,
                                     {"machine", "nodes", "ppn", "collectives", "min-msg",
                                      "max-msg", "rules", "trees", "max-points", "seed",
-                                     "threads", "trace-out", "metrics-out", "chrome-out"}));
+                                     "threads", "trace-out", "metrics-out", "chrome-out",
+                                     "audit-out", "profile-out", "prom-out"}));
+    }
+    if (cmd == "explain") {
+      // Accept the audit path positionally (`acclaim explain run.jsonl`) or
+      // via --audit, mirroring `report`.
+      std::vector<char*> rest(argv + 2, argv + argc);
+      std::string positional;
+      if (!rest.empty() && rest.front()[0] != '-') {
+        positional = rest.front();
+        rest.erase(rest.begin());
+      }
+      cli::Args args(static_cast<int>(rest.size()), rest.data(),
+                     {"audit", "decisions", "rows"});
+      if (!positional.empty() && args.has("audit")) {
+        throw InvalidArgument(
+            "explain takes either a positional audit path or --audit, not both");
+      }
+      if (!positional.empty()) {
+        std::vector<char*> fwd;
+        std::string audit_flag = "--audit";
+        fwd.push_back(audit_flag.data());
+        fwd.push_back(positional.data());
+        for (char* a : rest) {
+          fwd.push_back(a);
+        }
+        args = cli::Args(static_cast<int>(fwd.size()), fwd.data(),
+                         {"audit", "decisions", "rows"});
+      }
+      return cmd_explain(args);
     }
     if (cmd == "report") {
       // Accept the trace path positionally (`acclaim report t.jsonl`) or

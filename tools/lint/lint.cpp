@@ -37,6 +37,10 @@ std::vector<CheckInfo> make_registry() {
       {"par-float-reduction", Severity::Error,
        "+=/-= on a shared floating-point value inside a parallel lambda reorders the "
        "reduction across thread counts; accumulate per-slot and fold serially"},
+      {"det-audit-order", Severity::Error,
+       "audit-log emission (telemetry::audit(), DecisionRecord, observe_decision_cost) "
+       "inside a parallel_for/submit lambda records in thread-dependent order; emit from "
+       "the serial decision path only"},
       {"hyg-catch-log", Severity::Warning,
        "catch block neither logs (AC_LOG_*) nor rethrows/returns; a swallowed exception "
        "hides the failure"},
@@ -632,6 +636,26 @@ struct Analyzer {
           (nx->text == "=" || nx->text == ";" || nx->text == "," || nx->text == ":" ||
            nx->text == "(" || nx->text == "{")) {
         locals.insert(toks[j].text);
+      }
+    }
+
+    // Pass 1b: audit emission inside a parallel region. The flight
+    // recorder's log must be bitwise-identical across thread counts, which
+    // holds only if every record is emitted from the serial decision path —
+    // records written from worker lambdas interleave by scheduling order.
+    for (std::size_t j = body_open + 1; j < body_close; ++j) {
+      if (toks[j].kind != Tok::Kind::Ident) {
+        continue;
+      }
+      const std::string& t = toks[j].text;
+      const Tok* nx = next_tok(j);
+      const bool audit_call =
+          t == "audit" && nx != nullptr && nx->kind == Tok::Kind::Punct && nx->text == "(";
+      if (audit_call || t == "AuditLog" || t == "DecisionRecord" ||
+          t == "observe_decision_cost") {
+        report("det-audit-order", toks[j].line,
+               "'" + t + "' emits audit records inside a parallel region");
+        break;  // one finding per lambda pinpoints the region
       }
     }
 

@@ -11,6 +11,7 @@
 //   det-unordered-iter  no iteration over unordered containers
 //   par-shared-write    no non-atomic shared writes in parallel lambdas
 //   par-float-reduction no +=/-= float reductions in parallel lambdas
+//   det-audit-order     no audit-log emission inside parallel lambdas
 //   hyg-catch-log       catch blocks must log, rethrow, or return
 //   hyg-naked-new       no naked new
 //   hyg-float-eq        no ==/!= against floating-point literals
