@@ -79,6 +79,7 @@ MethodResult run_method(coll::Collective c, PolicyFactory make_policy,
 
 int main(int argc, char** argv) {
   benchharness::BenchEnv bench_env(argc, argv);
+  bench_env.set_figure("fig10");
   const bool ablation = argc > 1 && std::strcmp(argv[1], "--ablation") == 0;
   benchharness::banner("Fig. 10: ACCLAiM vs FACT training point selection",
                        "Expectation: ACCLAiM converges faster cumulatively (~2.25x in the paper),"
@@ -156,6 +157,12 @@ int main(int argc, char** argv) {
       csv.row_numeric({static_cast<double>(static_cast<int>(c)), acclaim.converge_s,
                        fact.converge_s, speedup});
     }
+    util::Json row = util::Json::object();
+    row["collective"] = coll::collective_name(c);
+    row["acclaim_s"] = acclaim_eff.converge_s;
+    row["fact_s"] = fact_eff.converge_s;
+    row["speedup"] = speedup;
+    bench_env.add_row(std::move(row));
   }
   table.print(std::cout);
   if (acclaim_total > 0 && fact_total > 0) {

@@ -26,8 +26,7 @@ std::pair<double, double> training_band() {
     const util::CsvTable t = util::read_csv(fig14);
     double lo = 1e30;
     double hi = 0.0;
-    for (const std::string& col_name :
-         {"allgather_s", "allreduce_s", "bcast_s", "reduce_s"}) {
+    for (const char* col_name : {"allgather_s", "allreduce_s", "bcast_s", "reduce_s"}) {
       const std::size_t col = t.column_index(col_name);
       for (const auto& row : t.rows) {
         const double v = std::stod(row[col]);

@@ -2,7 +2,20 @@
 // schedule construction, cost execution, forest fit/predict, jackknife
 // variance, rule lookup, and JSON round trips. These guard the costs that
 // determine how long the figure harnesses and the production pipeline take.
+//
+// `--json-out DIR` switches the binary into regression-gate mode instead of
+// running google-benchmark: it times the pointer forest against the fused
+// SoA kernel on a fig10/fig12-shaped jackknife sweep, checks the two paths
+// bitwise-equal, and writes DIR/BENCH_micro_forest.json for CI to parse.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <limits>
+#include <string>
 
 #include "benchdata/dataset.hpp"
 #include "collectives/types.hpp"
@@ -188,6 +201,183 @@ void BM_EncodePoint(benchmark::State& state) {
 }
 BENCHMARK(BM_EncodePoint);
 
+/// A fig10/fig12-shaped forest workload: the full bebop P2 candidate pool of
+/// one collective (every scenario x algorithm the jackknife acquisition
+/// scores per round), a bench-forest-sized ensemble trained on smooth
+/// synthetic log-times over those same encoded features.
+struct SweepFixture {
+  std::vector<ml::FeatureRow> rows;
+  ml::RandomForest forest;
+
+  SweepFixture() {
+    std::vector<std::uint64_t> msgs;
+    for (std::uint64_t m = 8; m <= (1u << 20); m *= 2) {
+      msgs.push_back(m);
+    }
+    const core::FeatureSpace space({2, 4, 8, 16, 32, 64}, {1, 2, 4, 8, 16, 32}, msgs);
+    util::Rng rng(17);
+    std::vector<double> y;
+    for (const bench::BenchmarkPoint& p : space.candidates(coll::Collective::Allreduce)) {
+      const ml::FeatureRow f = core::encode_point(p);
+      // log-time surface: latency + bandwidth terms over the log2 axes, a
+      // per-algorithm offset from the one-hot block, mild noise.
+      double alg_bias = 0.0;
+      for (std::size_t i = 3; i < f.size(); ++i) {
+        alg_bias += f[i] * 0.2 * static_cast<double>(i - 2);
+      }
+      y.push_back(0.4 * f[0] + 0.2 * f[1] + 0.15 * f[2] + alg_bias + rng.normal(0.0, 0.05));
+      rows.push_back(f);
+    }
+    ml::ForestParams params;
+    params.n_trees = 50;  // the figure harnesses' bench_forest() size
+    forest.fit(rows, y, params, 7);
+  }
+
+  static const SweepFixture& instance() {
+    static const SweepFixture fx;
+    return fx;
+  }
+};
+
+/// One full jackknife sweep over the candidate pool (what jackknife_variances
+/// does once per acquisition round) on the original pointer-chasing engine.
+void BM_JackknifeSweepPointer(benchmark::State& state) {
+  const SweepFixture& fx = SweepFixture::instance();
+  ml::ForestBackendGuard guard(ml::ForestBackend::Pointer);
+  std::vector<double> var(fx.rows.size());
+  std::vector<double> scratch;
+  for (auto _ : state) {
+    fx.forest.jackknife_batch(fx.rows.data(), fx.rows.size(), var.data(), nullptr, scratch);
+    benchmark::DoNotOptimize(var.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.rows.size()));
+}
+BENCHMARK(BM_JackknifeSweepPointer);
+
+/// The same sweep through the fused SoA batch kernel.
+void BM_JackknifeSweepFused(benchmark::State& state) {
+  const SweepFixture& fx = SweepFixture::instance();
+  ml::ForestBackendGuard guard(ml::ForestBackend::Flat);
+  std::vector<double> var(fx.rows.size());
+  std::vector<double> scratch;
+  for (auto _ : state) {
+    fx.forest.jackknife_batch(fx.rows.data(), fx.rows.size(), var.data(), nullptr, scratch);
+    benchmark::DoNotOptimize(var.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.rows.size()));
+}
+BENCHMARK(BM_JackknifeSweepFused);
+
+/// Batched per-tree predictions alone (no jackknife reduction), SoA arena.
+void BM_FlatPredictTreesBatch(benchmark::State& state) {
+  const SweepFixture& fx = SweepFixture::instance();
+  const ml::FlatForest& flat = fx.forest.flat();
+  std::vector<double> out(fx.rows.size() * flat.n_trees());
+  for (auto _ : state) {
+    flat.predict_trees_batch(fx.rows.data(), fx.rows.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.rows.size()));
+}
+BENCHMARK(BM_FlatPredictTreesBatch);
+
+/// Regression-gate mode (`--json-out DIR`): single-threaded pointer-vs-SoA
+/// comparison on the SweepFixture workload, bitwise-equality check, and a
+/// BENCH_micro_forest.json artifact in the house format (figure/rows/
+/// host_wall_s) so CI can fail the PR if the SoA engine ever loses ground.
+int run_forest_gate(const std::string& out_dir) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const SweepFixture& fx = SweepFixture::instance();
+  const std::size_t n = fx.rows.size();
+
+  std::vector<double> var_ptr(n), mean_ptr(n), var_flat(n), mean_flat(n);
+  std::vector<double> scratch;
+  constexpr int kReps = 7;
+  auto time_path = [&](ml::ForestBackend backend, double* var, double* mean) {
+    ml::ForestBackendGuard guard(backend);
+    double best_s = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < kReps; ++rep) {  // first rep doubles as warmup
+      const auto t0 = std::chrono::steady_clock::now();
+      fx.forest.jackknife_batch(fx.rows.data(), n, var, mean, scratch);
+      const double s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      if (rep > 0) {
+        best_s = std::min(best_s, s);
+      }
+    }
+    return best_s;
+  };
+  const double ptr_s = time_path(ml::ForestBackend::Pointer, var_ptr.data(), mean_ptr.data());
+  const double flat_s =
+      time_path(ml::ForestBackend::Flat, var_flat.data(), mean_flat.data());
+
+  const bool bitwise_equal =
+      std::memcmp(var_ptr.data(), var_flat.data(), n * sizeof(double)) == 0 &&
+      std::memcmp(mean_ptr.data(), mean_flat.data(), n * sizeof(double)) == 0;
+  const double speedup = ptr_s / flat_s;
+
+  std::cout << "forest gate: " << n << " rows x " << fx.forest.n_trees() << " trees\n"
+            << "  pointer   " << ptr_s * 1e3 << " ms  ("
+            << static_cast<double>(n) / ptr_s << " rows/s)\n"
+            << "  flat+fuse " << flat_s * 1e3 << " ms  ("
+            << static_cast<double>(n) / flat_s << " rows/s)\n"
+            << "  speedup   " << speedup << "x, bitwise_equal="
+            << (bitwise_equal ? "true" : "false") << "\n";
+
+  util::Json doc = util::Json::object();
+  doc["figure"] = "micro_forest";
+  util::Json rows = util::Json::array();
+  auto make_row = [&](const char* path, double seconds) {
+    util::Json row = util::Json::object();
+    row["path"] = path;
+    row["seconds"] = seconds;
+    row["rows_per_s"] = static_cast<double>(n) / seconds;
+    return row;
+  };
+  rows.push_back(make_row("pointer", ptr_s));
+  util::Json flat_row = make_row("flat_fused", flat_s);
+  flat_row["speedup"] = speedup;
+  flat_row["bitwise_equal"] = bitwise_equal;
+  rows.push_back(std::move(flat_row));
+  doc["rows"] = std::move(rows);
+  doc["host_wall_s"] =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  std::filesystem::create_directories(out_dir);
+  doc.dump_file(out_dir + "/BENCH_micro_forest.json");
+
+  if (!bitwise_equal) {
+    std::cerr << "forest gate: SoA results diverge from the pointer engine\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Consume `--json-out DIR` before google-benchmark sees the arguments.
+  std::string json_out;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-out") == 0) {
+      json_out = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) {
+        argv[j] = argv[j + 2];
+      }
+      argc -= 2;
+      break;
+    }
+  }
+  if (!json_out.empty()) {
+    return run_forest_gate(json_out);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -30,7 +30,8 @@ AcquisitionPolicy::Pick RandomAcquisition::next(const CollectiveModel&,
 namespace {
 
 /// Shared variance-to-pick logic for both variance-guided policies. The
-/// candidate sweep (one forest query per pool entry) runs on the global
+/// candidate sweep (jackknife_variances: fixed-size blocks of pool entries
+/// through the fused SoA predict+jackknife kernel) runs on the global
 /// thread pool; the pick itself — argmax scan or the single weighted draw —
 /// stays sequential over the in-order variance vector, so the chosen index
 /// and the rng stream are independent of the thread count.

@@ -1,5 +1,6 @@
 #include "core/model.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -57,6 +58,17 @@ double CollectiveModel::jackknife_variance(const bench::BenchmarkPoint& point) c
   return ml::jackknife_variance(preds);
 }
 
+namespace {
+
+/// Rows per fused predict+jackknife kernel call. Fixed (never derived from
+/// the thread count or pool state) so the block a point lands in — and with
+/// it every floating-point reduction — is identical for any `--threads`.
+/// 16 rows x 100 trees of doubles is a 12.5 KiB scratch block: deep in L1,
+/// and enough rows for the tree-major walk to amortize its arena scans.
+constexpr std::size_t kJackknifeBlock = 16;
+
+}  // namespace
+
 std::vector<double> CollectiveModel::jackknife_variances(
     const std::vector<bench::BenchmarkPoint>& points) const {
   if (points.empty()) {
@@ -65,10 +77,17 @@ std::vector<double> CollectiveModel::jackknife_variances(
   require(trained(), "model not trained");
   const auto start = std::chrono::steady_clock::now();
   std::vector<double> out(points.size(), 0.0);
-  util::global_pool().parallel_for(0, points.size(), [&](std::size_t i) {
-    thread_local std::vector<double> preds;
-    forest_.predict_trees(encode_point(points[i]), preds);
-    out[i] = ml::jackknife_variance(preds);
+  const std::size_t n_blocks = (points.size() + kJackknifeBlock - 1) / kJackknifeBlock;
+  util::global_pool().parallel_for(0, n_blocks, [&](std::size_t b) {
+    const std::size_t lo = b * kJackknifeBlock;
+    const std::size_t hi = std::min(points.size(), lo + kJackknifeBlock);
+    thread_local std::vector<ml::FeatureRow> rows;
+    thread_local std::vector<double> scratch;
+    rows.resize(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      rows[i - lo] = encode_point(points[i]);
+    }
+    forest_.jackknife_batch(rows.data(), hi - lo, out.data() + lo, nullptr, scratch);
   });
   static telemetry::Histogram& sweep_ms =
       telemetry::metrics().histogram("model.variance_sweep_ms", {0.01, 32});
@@ -120,6 +139,43 @@ coll::Algorithm CollectiveModel::select(const bench::Scenario& s) const {
     }
   }
   return best;
+}
+
+std::vector<coll::Algorithm> CollectiveModel::select_batch(
+    const std::vector<bench::Scenario>& scenarios) const {
+  if (scenarios.empty()) {
+    return {};
+  }
+  require(trained(), "model not trained");
+  const auto algorithms = coll::algorithms_for(collective_);
+  const std::size_t n_algs = algorithms.size();
+  std::vector<coll::Algorithm> out(scenarios.size(), algorithms.front());
+  // One scenario per slot: each evaluates its candidate block through the
+  // fused kernel and scans the means with select()'s strict `<` tie-break,
+  // so the result is the per-scenario select() bit for bit.
+  util::global_pool().parallel_for(0, scenarios.size(), [&](std::size_t i) {
+    require(scenarios[i].collective == collective_,
+            "scenario belongs to a different collective");
+    thread_local std::vector<ml::FeatureRow> rows;
+    thread_local std::vector<double> means;
+    thread_local std::vector<double> variances;
+    thread_local std::vector<double> scratch;
+    rows.resize(n_algs);
+    means.resize(n_algs);
+    variances.resize(n_algs);
+    for (std::size_t a = 0; a < n_algs; ++a) {
+      rows[a] = encode_point(bench::BenchmarkPoint{scenarios[i], algorithms[a]});
+    }
+    forest_.jackknife_batch(rows.data(), n_algs, variances.data(), means.data(), scratch);
+    std::size_t best = 0;
+    for (std::size_t a = 1; a < n_algs; ++a) {
+      if (means[a] < means[best]) {
+        best = a;
+      }
+    }
+    out[i] = algorithms[best];
+  });
+  return out;
 }
 
 SelectionExplanation CollectiveModel::explain(const bench::Scenario& s) const {

@@ -73,9 +73,11 @@ class CollectiveModel {
   double jackknife_variance(const bench::BenchmarkPoint& point) const;
 
   /// Jackknife variance for every point, in order — the batch form the
-  /// acquisition sweep and the convergence proxy share. Candidates are
-  /// scored on the global thread pool, one result slot per point, so the
-  /// vector is bitwise-identical for any thread count.
+  /// acquisition sweep and the convergence proxy share. Fixed-size blocks
+  /// of candidates run the forest's fused SoA predict+jackknife kernel on
+  /// the global thread pool, one result slot per point; per-point values
+  /// are a pure function of the point, so the vector is bitwise-identical
+  /// for any thread count (and to the scalar per-point path).
   std::vector<double> jackknife_variances(
       const std::vector<bench::BenchmarkPoint>& points) const;
 
@@ -88,6 +90,13 @@ class CollectiveModel {
 
   /// The algorithm with the lowest predicted time for the scenario.
   coll::Algorithm select(const bench::Scenario& s) const;
+
+  /// select() for a batch of scenarios in one fused forest pass: all
+  /// (scenario x algorithm) rows are evaluated through the batched SoA
+  /// kernel, then each scenario's argmin uses select()'s `<` tie-break.
+  /// Guaranteed to return exactly select(s) per scenario; the rule
+  /// generator's grid sweep runs on this when the flight recorder is off.
+  std::vector<coll::Algorithm> select_batch(const std::vector<bench::Scenario>& scenarios) const;
 
   /// select() with its work shown: per-candidate mean predictions and tree
   /// votes, runner-up and margin, and the chosen candidate's jackknife

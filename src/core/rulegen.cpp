@@ -127,9 +127,26 @@ RuleTable RuleGenerator::generate(const CollectiveModel& model, const FeatureSpa
       auto scenario = [&](std::uint64_t msg) {
         return bench::Scenario{c, nnodes, ppn, msg};
       };
-      coll::Algorithm current = select_audited(scenario(msgs.front()));
+      // Batched grid sweep: with the flight recorder off, the bucket's whole
+      // msg grid goes through one select_batch call (fused SoA kernel, one
+      // parallel sweep) — guaranteed to return exactly select() per scenario,
+      // so the emitted rules are unchanged. With auditing on, the walk stays
+      // serial per query so record order and bytes are untouched.
+      std::vector<coll::Algorithm> grid;
+      if (!telemetry::audit().enabled()) {
+        std::vector<bench::Scenario> scenarios;
+        scenarios.reserve(msgs.size());
+        for (std::uint64_t msg : msgs) {
+          scenarios.push_back(scenario(msg));
+        }
+        grid = model.select_batch(scenarios);
+      }
+      auto grid_select = [&](std::size_t i) {
+        return grid.empty() ? select_audited(scenario(msgs[i])) : grid[i];
+      };
+      coll::Algorithm current = grid_select(0);
       for (std::size_t i = 1; i < msgs.size(); ++i) {
-        const coll::Algorithm next = select_audited(scenario(msgs[i]));
+        const coll::Algorithm next = grid_select(i);
         if (next == current) {
           continue;
         }

@@ -1,6 +1,7 @@
 #include "ml/forest.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 
 #include "telemetry/metrics.hpp"
@@ -9,6 +10,20 @@
 #include "util/thread_pool.hpp"
 
 namespace acclaim::ml {
+
+namespace {
+
+std::atomic<ForestBackend> g_backend{ForestBackend::Flat};
+
+}  // namespace
+
+void set_forest_backend(ForestBackend backend) {
+  g_backend.store(backend, std::memory_order_relaxed);
+}
+
+ForestBackend forest_backend() noexcept {
+  return g_backend.load(std::memory_order_relaxed);
+}
 
 void RandomForest::fit(const std::vector<FeatureRow>& X, const std::vector<double>& y,
                        const ForestParams& params, std::uint64_t seed) {
@@ -38,6 +53,9 @@ void RandomForest::fit(const std::vector<FeatureRow>& X, const std::vector<doubl
       trees_[i].fit(X, y, params.tree, tree_rng);
     }
   });
+  // Flatten once per fit: the SoA arena is immutable until the next fit,
+  // so every prediction from here on is a pure read.
+  flat_ = FlatForest::build(trees_);
   static telemetry::Counter& fits = telemetry::metrics().counter("ml.forest.fits");
   static telemetry::Histogram& fit_ms =
       telemetry::metrics().histogram("ml.forest.fit_ms", {0.01, 32});
@@ -49,6 +67,9 @@ void RandomForest::fit(const std::vector<FeatureRow>& X, const std::vector<doubl
 
 double RandomForest::predict(const FeatureRow& row) const {
   require(fitted(), "RandomForest::predict called before fit");
+  if (forest_backend() == ForestBackend::Flat) {
+    return flat_.predict(row);
+  }
   double sum = 0.0;
   for (const auto& tree : trees_) {
     sum += tree.predict(row);
@@ -64,19 +85,60 @@ std::vector<double> RandomForest::predict_trees(const FeatureRow& row) const {
 
 void RandomForest::predict_trees(const FeatureRow& row, std::vector<double>& out) const {
   require(fitted(), "RandomForest::predict_trees called before fit");
-  out.resize(trees_.size());
-  // Per-tree prediction is cheap (~a tree-depth of node hops), so the grain
-  // keeps small forests — and every nested call from a candidate-level
-  // parallel_for — on the inline path; only large forests queried from the
-  // main thread split. Slot-per-tree writes keep any split bitwise-stable.
-  constexpr std::size_t kPredictGrain = 64;
-  util::global_pool().parallel_for(
-      0, trees_.size(), [&](std::size_t i) { out[i] = trees_[i].predict(row); },
-      kPredictGrain);
+  if (forest_backend() == ForestBackend::Flat) {
+    // The flat walk is a serial sweep over the arena: for the 24-100 tree
+    // forests the pipeline runs, one cache-friendly pass beats farming
+    // per-tree tasks out to the pool (and is trivially thread-invariant).
+    flat_.predict_trees(row, out);
+  } else {
+    out.resize(trees_.size());
+    for (std::size_t i = 0; i < trees_.size(); ++i) {
+      out[i] = trees_[i].predict(row);
+    }
+  }
   // Hot path (jackknife variance sweeps call this per candidate per
   // iteration): a relaxed increment only, no clock reads.
   static telemetry::Counter& predicts = telemetry::metrics().counter("ml.forest.predicts");
   predicts.add();
+}
+
+void RandomForest::jackknife_batch(const FeatureRow* rows, std::size_t n_rows,
+                                   double* variances, double* means,
+                                   std::vector<double>& scratch) const {
+  require(fitted(), "RandomForest::jackknife_batch called before fit");
+  if (n_rows == 0) {
+    return;
+  }
+  if (forest_backend() == ForestBackend::Flat) {
+    flat_.jackknife_batch(rows, n_rows, variances, means, scratch);
+  } else {
+    // Reference engine: scalar per-row pointer traversal, same reductions.
+    const std::size_t nt = trees_.size();
+    if (scratch.size() < nt) {
+      scratch.resize(nt);
+    }
+    for (std::size_t r = 0; r < n_rows; ++r) {
+      for (std::size_t t = 0; t < nt; ++t) {
+        scratch[t] = trees_[t].predict(rows[r]);
+      }
+      if (variances != nullptr) {
+        variances[r] = jackknife_variance(scratch.data(), nt);
+      }
+      if (means != nullptr) {
+        double sum = 0.0;
+        for (std::size_t t = 0; t < nt; ++t) {
+          sum += scratch[t];
+        }
+        means[r] = sum / static_cast<double>(nt);
+      }
+    }
+  }
+  // One "predict" per row keeps the counter's meaning (forest evaluations)
+  // identical between the scalar and batched entry points.
+  static telemetry::Counter& predicts = telemetry::metrics().counter("ml.forest.predicts");
+  static telemetry::Counter& batched = telemetry::metrics().counter("ml.forest.batched_rows");
+  predicts.add(n_rows);
+  batched.add(n_rows);
 }
 
 util::Json RandomForest::to_json() const {
@@ -99,6 +161,7 @@ RandomForest RandomForest::from_json(const util::Json& doc) {
     forest.trees_.push_back(DecisionTree::from_json(tree));
   }
   require(forest.fitted(), "serialized forest must contain at least one tree");
+  forest.flat_ = FlatForest::build(forest.trees_);
   return forest;
 }
 
@@ -119,20 +182,23 @@ PredictionStats summarize_predictions(const std::vector<double>& tree_preds) {
 }
 
 double jackknife_variance(const std::vector<double>& values) {
-  const std::size_t n = values.size();
+  return jackknife_variance(values.data(), values.size());
+}
+
+double jackknife_variance(const double* values, std::size_t n) {
   if (n < 2) {
     return 0.0;
   }
   double sum = 0.0;
-  for (double v : values) {
-    sum += v;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += values[i];
   }
   const double mean = sum / static_cast<double>(n);
   // The i-th jackknife sample is (sum - v_i) / (n - 1), so
   // mean - sample_i = (v_i - mean) / (n - 1).
   double acc = 0.0;
-  for (double v : values) {
-    const double d = (v - mean) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = (values[i] - mean) / static_cast<double>(n - 1);
     acc += d * d;
   }
   return acc / static_cast<double>(n - 1);

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "ml/flat_forest.hpp"
 #include "ml/tree.hpp"
 
 namespace acclaim::ml {
@@ -13,9 +14,42 @@ struct ForestParams {
   TreeParams tree;
 };
 
+/// Which inference engine RandomForest evaluation routes through. The two
+/// are bitwise-equivalent by construction; the pointer path exists so the
+/// differential test harness (test_flat_forest.cpp, test_determinism.cpp)
+/// can re-run whole tune jobs on the original engine and byte-compare every
+/// artifact against the SoA path.
+enum class ForestBackend {
+  Flat,     ///< SoA arena, batched tree-major kernels (the default)
+  Pointer,  ///< original node-struct traversal, scalar fallback for batches
+};
+
+/// Process-wide backend switch (default Flat). A testing/diagnostics hook:
+/// flip it from serial code only (tests, bench setup) — concurrent readers
+/// are safe, but mid-sweep flips would mix engines within one result.
+void set_forest_backend(ForestBackend backend);
+ForestBackend forest_backend() noexcept;
+
+/// Restores the previous backend on scope exit (test helper).
+class ForestBackendGuard {
+ public:
+  explicit ForestBackendGuard(ForestBackend backend)
+      : previous_(forest_backend()) {
+    set_forest_backend(backend);
+  }
+  ~ForestBackendGuard() { set_forest_backend(previous_); }
+  ForestBackendGuard(const ForestBackendGuard&) = delete;
+  ForestBackendGuard& operator=(const ForestBackendGuard&) = delete;
+
+ private:
+  ForestBackend previous_;
+};
+
 /// scikit-style RandomForestRegressor: each tree fits a bootstrap resample;
 /// the forest predicts the mean of the trees. predict_trees() exposes the
-/// per-tree predictions the jackknife variance (§IV-A) needs.
+/// per-tree predictions the jackknife variance (§IV-A) needs. After fit()
+/// or from_json() the trees are additionally flattened into a FlatForest
+/// arena; all evaluation entry points route through it (see ForestBackend).
 class RandomForest {
  public:
   void fit(const std::vector<FeatureRow>& X, const std::vector<double>& y,
@@ -24,14 +58,32 @@ class RandomForest {
   bool fitted() const noexcept { return !trees_.empty(); }
   std::size_t n_trees() const noexcept { return trees_.size(); }
 
+  /// The fitted pointer trees (serialization source + differential
+  /// reference engine).
+  const std::vector<DecisionTree>& trees() const noexcept { return trees_; }
+
+  /// The flattened SoA arena shared by all hot-path evaluation.
+  const FlatForest& flat() const noexcept { return flat_; }
+
   /// Mean of the per-tree predictions.
   double predict(const FeatureRow& row) const;
 
   /// Per-tree predictions, in tree order.
   std::vector<double> predict_trees(const FeatureRow& row) const;
 
-  /// Fills `out` (resized to n_trees) — allocation-free in hot loops.
+  /// Fills `out` (resized to n_trees, shrinking an over-sized vector) —
+  /// allocation-free in hot loops.
   void predict_trees(const FeatureRow& row, std::vector<double>& out) const;
+
+  /// Fused batched predict + jackknife over `n_rows` rows: `variances[r]`
+  /// gets the jackknife variance of row r's per-tree predictions and
+  /// `means[r]` their tree-order mean — one traversal pass, no per-row
+  /// re-walk of the trees. Either output may be null to skip that
+  /// reduction. `scratch` is caller-owned working memory (one buffer per
+  /// thread in parallel sweeps). Bitwise-identical to predict_trees +
+  /// jackknife_variance per row, on either backend.
+  void jackknife_batch(const FeatureRow* rows, std::size_t n_rows, double* variances,
+                       double* means, std::vector<double>& scratch) const;
 
   /// Serializes the fitted forest. Requires fitted().
   util::Json to_json() const;
@@ -40,12 +92,17 @@ class RandomForest {
 
  private:
   std::vector<DecisionTree> trees_;
+  FlatForest flat_;
 };
 
 /// Jackknife variance of a set of values exactly as the paper defines it
 /// (§IV-A): the i-th jackknife sample is the mean with value i removed;
 /// variance = sum((mean - sample_i)^2) / (n - 1). Returns 0 for n < 2.
 double jackknife_variance(const std::vector<double>& values);
+
+/// Span form for the batched sweeps; the vector overload forwards here, so
+/// both compute identical floating-point operation sequences.
+double jackknife_variance(const double* values, std::size_t n);
 
 /// One-pass summary of a per-tree prediction vector, used by the decision
 /// flight recorder to explain what the ensemble saw for one candidate.

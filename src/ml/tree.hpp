@@ -44,6 +44,19 @@ class DecisionTree {
   bool fitted() const noexcept { return !nodes_.empty(); }
   std::size_t node_count() const noexcept { return nodes_.size(); }
   int depth() const noexcept { return depth_; }
+  std::size_t n_features() const noexcept { return n_features_; }
+
+  struct Node {
+    int feature = -1;         ///< -1 marks a leaf
+    double threshold = 0.0;   ///< go left if x[feature] <= threshold
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    double value = 0.0;       ///< leaf prediction (mean of samples)
+  };
+
+  /// Read access to the fitted node array (root at index 0) — the source
+  /// FlatForest::build flattens into the structure-of-arrays arena.
+  const std::vector<Node>& nodes() const noexcept { return nodes_; }
 
   /// Serializes the fitted tree (structure + leaf values). Requires fitted().
   util::Json to_json() const;
@@ -52,13 +65,6 @@ class DecisionTree {
   static DecisionTree from_json(const util::Json& doc);
 
  private:
-  struct Node {
-    int feature = -1;         ///< -1 marks a leaf
-    double threshold = 0.0;   ///< go left if x[feature] <= threshold
-    std::int32_t left = -1;
-    std::int32_t right = -1;
-    double value = 0.0;       ///< leaf prediction (mean of samples)
-  };
 
   std::int32_t build(const std::vector<FeatureRow>& X, const std::vector<double>& y,
                      std::vector<std::size_t>& idx, std::size_t begin, std::size_t end,

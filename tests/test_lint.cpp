@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 
 #include "lint/lint.hpp"
 #include "util/error.hpp"
@@ -223,6 +225,56 @@ TEST(LintParallel, SubmitLambdasAreCoveredToo) {
       "  fut.get();\n"
       "}\n";
   EXPECT_TRUE(has_check(lint_source("src/core/x.cpp", src), "par-shared-write"));
+}
+
+TEST(LintParallel, FusedBlockedJackknifeLoopStaysClean) {
+  // Mirror of the fused sweep in core/model.cpp: fixed-size blocks, a
+  // thread_local row/scratch buffer, and slot writes through a pointer
+  // offset. The reductions happen inside jackknife_batch over
+  // thread-private scratch — nothing here may trip par-float-reduction.
+  const std::string src =
+      "void sweep(util::ThreadPool& pool, const ml::RandomForest& forest,\n"
+      "           const std::vector<ml::FeatureRow>& rows, std::vector<double>& out) {\n"
+      "  constexpr std::size_t kBlock = 16;\n"
+      "  const std::size_t n_blocks = (rows.size() + kBlock - 1) / kBlock;\n"
+      "  pool.parallel_for(0, n_blocks, [&](std::size_t b) {\n"
+      "    const std::size_t lo = b * kBlock;\n"
+      "    const std::size_t hi = std::min(rows.size(), lo + kBlock);\n"
+      "    thread_local std::vector<double> scratch;\n"
+      "    forest.jackknife_batch(rows.data() + lo, hi - lo, out.data() + lo, nullptr,\n"
+      "                           scratch);\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());
+}
+
+TEST(LintParallel, MutatedFusedLoopWithSharedAccumulatorFires) {
+  // The same shape gone wrong: accumulating the per-block result into one
+  // captured double turns the sweep order-dependent.
+  const std::string src =
+      "void sweep(util::ThreadPool& pool, const ml::RandomForest& forest,\n"
+      "           const std::vector<ml::FeatureRow>& rows, std::vector<double>& out) {\n"
+      "  double total = 0.0;\n"
+      "  pool.parallel_for(0, rows.size(), [&](std::size_t i) {\n"
+      "    total += out[i];\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(has_check(lint_source("src/core/x.cpp", src), "par-float-reduction"));
+}
+
+TEST(LintParallel, ShippedFusedKernelSourcesCarryNoFloatReductionFindings) {
+  // Suppression audit on the real files: the hot fused-jackknife sources
+  // must stay free of par-float-reduction findings (no new accumulation,
+  // and no acclaim-lint:allow creeping in to silence one).
+  for (const char* rel : {"src/core/model.cpp", "src/ml/flat_forest.cpp"}) {
+    std::ifstream in(std::string(ACCLAIM_SOURCE_DIR "/") + rel, std::ios::binary);
+    ASSERT_TRUE(in.good()) << rel;
+    std::ostringstream text;
+    text << in.rdbuf();
+    ASSERT_GT(text.str().size(), 100u) << rel;
+    EXPECT_FALSE(text.str().find("allow(par-float-reduction)") != std::string::npos) << rel;
+    EXPECT_FALSE(has_check(lint_source(rel, text.str()), "par-float-reduction")) << rel;
+  }
 }
 
 // ---------------------------------------------------------------------------

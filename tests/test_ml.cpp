@@ -129,6 +129,24 @@ TEST(RandomForest, PredictIsMeanOfTrees) {
   EXPECT_NEAR(f.predict(probe), mean, 1e-12);
 }
 
+TEST(RandomForest, PredictTreesShrinksAnOversizedOutput) {
+  const Synth s = make_synth(120, 0.3, 5);
+  RandomForest f;
+  ForestParams p;
+  p.n_trees = 6;
+  f.fit(s.X, s.y, p, 3);
+  const FeatureRow probe{1.0, 0.5};
+  // The out-parameter contract says "resized to n_trees": a too-large
+  // buffer must shrink, never keep stale tail predictions, on both engines.
+  for (const ml::ForestBackend backend : {ml::ForestBackend::Flat, ml::ForestBackend::Pointer}) {
+    ml::ForestBackendGuard guard(backend);
+    std::vector<double> out(64, -1.0);
+    f.predict_trees(probe, out);
+    ASSERT_EQ(out.size(), 6u);
+    EXPECT_EQ(out, f.predict_trees(probe));
+  }
+}
+
 TEST(RandomForest, DeterministicForSeed) {
   const Synth s = make_synth(200, 0.3, 7);
   RandomForest a;

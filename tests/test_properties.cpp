@@ -467,4 +467,61 @@ TEST_F(ThreadStress, ForestFitDeterministicUnderRandomDataAndThreads) {
   }
 }
 
+TEST_F(ThreadStress, BatchedForestEvaluationMatchesScalarUnderRandomBatchesAndThreads) {
+  // Property: for any forest, batch size, and thread count, the fused SoA
+  // batch kernel agrees bitwise with per-row scalar evaluation on the
+  // pointer engine. Exercises batch sizes straddling the lane width and
+  // thread counts (threads only affect callers like jackknife_variances;
+  // the kernel itself must be a pure function of the rows).
+  util::Rng meta(0xF147);
+  const int thread_choices[] = {1, 2, 4, 8};
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::uint64_t seed = meta.next_u64();
+    util::Rng data(seed);
+    std::vector<ml::FeatureRow> X;
+    std::vector<double> y;
+    const int n = 30 + static_cast<int>(data.uniform_int(0, 90));
+    for (int i = 0; i < n; ++i) {
+      X.push_back({data.uniform(0, 8), static_cast<double>(data.uniform_int(0, 3)),
+                   data.uniform(-2, 2)});
+      y.push_back(X.back()[0] - X.back()[1] + data.normal(0.0, 0.2));
+    }
+    ml::ForestParams params;
+    params.n_trees = 1 + static_cast<int>(data.uniform_int(0, 30));
+    util::set_global_threads(thread_choices[meta.index(4)]);
+    ml::RandomForest forest;
+    forest.fit(X, y, params, seed);
+    const std::size_t nt = forest.n_trees();
+
+    const std::size_t n_rows = static_cast<std::size_t>(meta.uniform_int(1, 64));
+    std::vector<ml::FeatureRow> rows;
+    for (std::size_t r = 0; r < n_rows; ++r) {
+      rows.push_back({data.uniform(-10, 10), data.uniform(-10, 10), data.uniform(-10, 10)});
+    }
+
+    std::vector<double> var(n_rows), mean(n_rows), scratch;
+    {
+      ml::ForestBackendGuard guard(ml::ForestBackend::Flat);
+      forest.jackknife_batch(rows.data(), n_rows, var.data(), mean.data(), scratch);
+    }
+    ml::ForestBackendGuard guard(ml::ForestBackend::Pointer);
+    std::vector<double> batched(n_rows * nt);
+    forest.flat().predict_trees_batch(rows.data(), n_rows, batched.data());
+    for (std::size_t r = 0; r < n_rows; ++r) {
+      std::vector<double> scalar;
+      forest.predict_trees(rows[r], scalar);
+      for (std::size_t t = 0; t < nt; ++t) {
+        ASSERT_EQ(batched[r * nt + t], scalar[t])
+            << "trial=" << trial << " row=" << r << " tree=" << t;
+      }
+      ASSERT_EQ(var[r], ml::jackknife_variance(scalar)) << "trial=" << trial << " row=" << r;
+      double sum = 0.0;
+      for (double v : scalar) {
+        sum += v;
+      }
+      ASSERT_EQ(mean[r], sum / static_cast<double>(nt)) << "trial=" << trial << " row=" << r;
+    }
+  }
+}
+
 }  // namespace
