@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "telemetry/metrics.hpp"
 #include "util/error.hpp"
@@ -38,13 +39,18 @@ void CollectiveModel::fit(const std::vector<LabeledPoint>& data, std::uint64_t s
     X.push_back(encode_point(lp.point));
     y.push_back(std::log(lp.time_us));
   }
-  forest_.fit(X, y, params_, seed);
+  // Copy-on-write publication: fit into a fresh forest and swap the shared
+  // pointer. Snapshots holding the previous forest keep it alive and
+  // unchanged; readers of *this* model see old-or-new, never a mid-fit state.
+  auto next = std::make_shared<ml::RandomForest>();
+  next->fit(X, y, params_, seed);
+  forest_ = std::move(next);
   n_points_ = data.size();
 }
 
 double CollectiveModel::predict_log_us(const bench::BenchmarkPoint& point) const {
   require(trained(), "model not trained");
-  return forest_.predict(encode_point(point));
+  return forest_->predict(encode_point(point));
 }
 
 double CollectiveModel::predict_us(const bench::BenchmarkPoint& point) const {
@@ -54,7 +60,7 @@ double CollectiveModel::predict_us(const bench::BenchmarkPoint& point) const {
 double CollectiveModel::jackknife_variance(const bench::BenchmarkPoint& point) const {
   require(trained(), "model not trained");
   thread_local std::vector<double> preds;
-  forest_.predict_trees(encode_point(point), preds);
+  forest_->predict_trees(encode_point(point), preds);
   return ml::jackknife_variance(preds);
 }
 
@@ -87,7 +93,7 @@ std::vector<double> CollectiveModel::jackknife_variances(
     for (std::size_t i = lo; i < hi; ++i) {
       rows[i - lo] = encode_point(points[i]);
     }
-    forest_.jackknife_batch(rows.data(), hi - lo, out.data() + lo, nullptr, scratch);
+    forest_->jackknife_batch(rows.data(), hi - lo, out.data() + lo, nullptr, scratch);
   });
   static telemetry::Histogram& sweep_ms =
       telemetry::metrics().histogram("model.variance_sweep_ms", {0.01, 32});
@@ -113,7 +119,7 @@ util::Json CollectiveModel::to_json() const {
   doc["model"] = "acclaim-collective-model-v1";
   doc["collective"] = coll::collective_name(collective_);
   doc["training_points"] = static_cast<double>(n_points_);
-  doc["forest"] = forest_.to_json();
+  doc["forest"] = forest_->to_json();
   return doc;
 }
 
@@ -122,7 +128,8 @@ CollectiveModel CollectiveModel::from_json(const util::Json& doc) {
               doc.at("model").as_string() == "acclaim-collective-model-v1",
           "unknown model serialization format");
   CollectiveModel model(coll::parse_collective(doc.at("collective").as_string()));
-  model.forest_ = ml::RandomForest::from_json(doc.at("forest"));
+  model.forest_ =
+      std::make_shared<const ml::RandomForest>(ml::RandomForest::from_json(doc.at("forest")));
   model.n_points_ = static_cast<std::size_t>(doc.at("training_points").as_int());
   return model;
 }
@@ -166,7 +173,7 @@ std::vector<coll::Algorithm> CollectiveModel::select_batch(
     for (std::size_t a = 0; a < n_algs; ++a) {
       rows[a] = encode_point(bench::BenchmarkPoint{scenarios[i], algorithms[a]});
     }
-    forest_.jackknife_batch(rows.data(), n_algs, variances.data(), means.data(), scratch);
+    forest_->jackknife_batch(rows.data(), n_algs, variances.data(), means.data(), scratch);
     std::size_t best = 0;
     for (std::size_t a = 1; a < n_algs; ++a) {
       if (means[a] < means[best]) {
@@ -191,7 +198,7 @@ SelectionExplanation CollectiveModel::explain(const bench::Scenario& s) const {
   tree_preds.reserve(algorithms.size());
   for (coll::Algorithm a : algorithms) {
     thread_local std::vector<double> preds;
-    forest_.predict_trees(encode_point(bench::BenchmarkPoint{s, a}), preds);
+    forest_->predict_trees(encode_point(bench::BenchmarkPoint{s, a}), preds);
     const ml::PredictionStats stats = ml::summarize_predictions(preds);
     SelectionExplanation::Candidate c;
     c.algorithm = a;
@@ -199,11 +206,11 @@ SelectionExplanation CollectiveModel::explain(const bench::Scenario& s) const {
     ex.candidates.push_back(c);
     tree_preds.push_back(preds);
   }
-  ex.tree_evals = static_cast<std::int64_t>(algorithms.size() * forest_.n_trees());
+  ex.tree_evals = static_cast<std::int64_t>(algorithms.size() * forest_->n_trees());
 
   // Per-tree votes: each tree votes for the candidate it scored strictly
   // fastest (ties keep the earlier candidate, matching select()'s `<`).
-  for (std::size_t t = 0; t < forest_.n_trees(); ++t) {
+  for (std::size_t t = 0; t < forest_->n_trees(); ++t) {
     std::size_t best = 0;
     for (std::size_t c = 1; c < tree_preds.size(); ++c) {
       if (tree_preds[c][t] < tree_preds[best][t]) {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "benchdata/point.hpp"
@@ -48,16 +49,24 @@ struct SelectionExplanation {
 
 /// Predicts per-algorithm execution time for a collective and selects the
 /// algorithm with the lowest prediction.
+///
+/// Training state vs. serving snapshots: the fitted forest lives behind a
+/// shared_ptr-to-const. fit() builds a *new* forest and swaps the pointer in,
+/// never mutating the one it replaces, so copying a trained CollectiveModel
+/// is O(1) (the copies share the immutable forest) and a copy taken before a
+/// re-fit keeps answering from the forest it was copied with. This is the
+/// copy-on-write contract the acclaimd model store builds snapshot
+/// publication on (serve::ModelStore).
 class CollectiveModel {
  public:
   CollectiveModel() = default;
   explicit CollectiveModel(coll::Collective c, ml::ForestParams params = default_forest_params());
 
   coll::Collective collective() const noexcept { return collective_; }
-  bool trained() const noexcept { return forest_.fitted(); }
+  bool trained() const noexcept { return forest_ != nullptr && forest_->fitted(); }
   std::size_t training_points() const noexcept { return n_points_; }
   /// Ensemble size (0 before training) — the audit log's virtual-cost unit.
-  std::size_t n_trees() const noexcept { return forest_.n_trees(); }
+  std::size_t n_trees() const noexcept { return forest_ ? forest_->n_trees() : 0; }
 
   /// (Re)fits the forest on the collected points. Throws InvalidArgument on
   /// an empty set or on points of a different collective.
@@ -112,7 +121,8 @@ class CollectiveModel {
  private:
   coll::Collective collective_ = coll::Collective::Bcast;
   ml::ForestParams params_;
-  ml::RandomForest forest_;
+  /// Immutable once published: fit() replaces the pointer, never the forest.
+  std::shared_ptr<const ml::RandomForest> forest_;
   std::size_t n_points_ = 0;
 };
 

@@ -1,0 +1,50 @@
+// acclaimd transport: the NDJSON request loop over stdio or a unix socket.
+//
+// The daemon is deliberately boring: it reads lines, hands each to
+// handle_line() (parse -> dispatch to ServeCore -> serialize), and writes
+// one response line. Model evaluation never happens on the accept path
+// without a resolved snapshot, and a malformed line yields an error
+// response, not a dropped connection. Batch requests are the concurrency
+// mechanism: a client that wants parallelism ships {"op":"batch",...} and
+// the serving core fans the misses out on the global thread pool.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "serve/serve_core.hpp"
+
+namespace acclaim::serve {
+
+class Daemon {
+ public:
+  explicit Daemon(ServeCore& core) : core_(core) {}
+
+  /// Handles one request line, returning the response line (no trailing
+  /// newline). Never throws on bad input — the error becomes the response.
+  std::string handle_line(const std::string& line);
+
+  /// Serves `in` until EOF or a shutdown request; one response per line on
+  /// `out`, flushed per response. Returns the number of requests handled.
+  std::uint64_t serve_stream(std::istream& in, std::ostream& out);
+
+  /// Binds a unix domain socket at `path` (replacing a stale file), then
+  /// accepts connections one at a time, serving each until the peer closes.
+  /// Returns (and unlinks the socket) after a shutdown request. Throws
+  /// IoError on socket setup failures.
+  std::uint64_t serve_unix_socket(const std::string& path);
+
+  /// True once a shutdown request has been handled.
+  bool shutdown_requested() const noexcept { return shutdown_; }
+
+ private:
+  ServeCore& core_;
+  bool shutdown_ = false;
+};
+
+/// Client side: connects to the daemon's unix socket, sends one request
+/// line, and returns the response line. Throws IoError on connect/IO
+/// failure or a closed connection.
+std::string unix_socket_request(const std::string& path, const std::string& line);
+
+}  // namespace acclaim::serve

@@ -1,0 +1,117 @@
+#include "serve/model_store.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace acclaim::serve {
+
+std::string ModelKey::to_string() const {
+  return std::string(coll::collective_name(collective)) + "/" +
+         (comm_size == 0 ? std::string("any") : std::to_string(comm_size)) + "/" + topology;
+}
+
+namespace {
+
+/// FNV-1a over the key fields; only used to spread keys across shards, so it
+/// needs to be deterministic and cheap, not cryptographic.
+std::size_t key_hash(const ModelKey& key) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<std::uint64_t>(key.collective));
+  mix(static_cast<std::uint64_t>(key.comm_size));
+  for (char c : key.topology) {
+    mix(static_cast<unsigned char>(c));
+  }
+  return static_cast<std::size_t>(h);
+}
+
+int clamp_shards(int shards) {
+  shards = std::clamp(shards, 1, 256);
+  int p2 = 1;
+  while (p2 < shards) {
+    p2 <<= 1;
+  }
+  return p2;
+}
+
+}  // namespace
+
+ModelStore::ModelStore(int shards) : shards_(static_cast<std::size_t>(clamp_shards(shards))) {}
+
+ModelStore::Shard& ModelStore::shard_for(const ModelKey& key) const {
+  return shards_[key_hash(key) & (shards_.size() - 1)];
+}
+
+std::uint64_t ModelStore::publish(const ModelKey& key, core::CollectiveModel model) {
+  require(model.trained(), "ModelStore::publish requires a trained model");
+  require(model.collective() == key.collective,
+          "ModelStore::publish: model collective does not match the key");
+  auto snap = std::make_shared<const ModelSnapshot>(ModelSnapshot{
+      key, next_version_.fetch_add(1, std::memory_order_relaxed), std::move(model)});
+  Shard& shard = shard_for(key);
+  Entry* entry = nullptr;
+  {
+    // Fast path: the key already exists — resolve it under the shared lock.
+    std::shared_lock lock(shard.mu);
+    if (const auto it = shard.entries.find(key); it != shard.entries.end()) {
+      entry = it->second.get();
+    }
+  }
+  if (entry == nullptr) {
+    std::unique_lock lock(shard.mu);
+    entry = shard.entries.try_emplace(key, std::make_unique<Entry>()).first->second.get();
+  }
+  const std::uint64_t version = snap->version;
+  entry->snap.store(std::move(snap), std::memory_order_release);
+  return version;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelStore::lookup(const ModelKey& key) const {
+  const Shard& shard = shard_for(key);
+  const Entry* entry = nullptr;
+  {
+    std::shared_lock lock(shard.mu);
+    if (const auto it = shard.entries.find(key); it != shard.entries.end()) {
+      entry = it->second.get();
+    }
+  }
+  return entry == nullptr ? nullptr : entry->snap.load(std::memory_order_acquire);
+}
+
+std::shared_ptr<const ModelSnapshot> ModelStore::resolve(const ModelKey& key) const {
+  if (auto snap = lookup(key)) {
+    return snap;
+  }
+  if (key.comm_size != 0) {
+    return lookup(ModelKey{key.collective, 0, key.topology});
+  }
+  return nullptr;
+}
+
+std::size_t ModelStore::size() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    n += shard.entries.size();
+  }
+  return n;
+}
+
+std::vector<ModelKey> ModelStore::keys() const {
+  std::vector<ModelKey> out;
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    for (const auto& [key, entry] : shard.entries) {
+      out.push_back(key);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace acclaim::serve

@@ -1,0 +1,101 @@
+// acclaimd model store: sharded, read-mostly registry of published models.
+//
+// The serving side of ACCLAiM (ROADMAP "tuning-as-a-service daemon") keeps
+// one immutable ModelSnapshot per (collective, comm size, topology signature)
+// key. Publication is copy-on-write: training code fits a private
+// CollectiveModel (whose fitted forest is itself immutable-once-built, see
+// core/model.hpp), wraps it in a snapshot, and an atomic shared_ptr swap
+// makes it visible. Queries in flight keep whatever snapshot they resolved —
+// they never observe a half-published model and never block a publisher.
+//
+// Locking discipline:
+//  * the per-shard shared_mutex guards only the key -> entry map structure;
+//    writers take it exclusively only to insert a *new* key;
+//  * republishing an existing key is a lock-free atomic store into the
+//    entry's snapshot slot;
+//  * readers take the shared side to resolve the entry, then an atomic load.
+//    Entries are never erased, so a resolved Entry pointer stays valid for
+//    the store's lifetime and hot paths may cache it (ServeCore does).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace acclaim::serve {
+
+/// Identity of one served model. `comm_size` is the total rank count
+/// (nodes x ppn) the model was tuned for; 0 is the wildcard scale a lookup
+/// falls back to when no exact-scale model exists (a job-level model that
+/// covers its whole trained grid). `topology` is the machine/topology
+/// signature (e.g. the simnet machine name).
+struct ModelKey {
+  coll::Collective collective = coll::Collective::Bcast;
+  int comm_size = 0;
+  std::string topology = "default";
+
+  auto operator<=>(const ModelKey&) const = default;
+
+  std::string to_string() const;
+};
+
+/// An immutable published model. Snapshots are shared by const pointer and
+/// never mutated after publish(); `version` is unique and increasing across
+/// the whole store, so a (version, scenario) pair names one decision forever
+/// (the decision cache keys on it).
+struct ModelSnapshot {
+  ModelKey key;
+  std::uint64_t version = 0;
+  core::CollectiveModel model;
+};
+
+class ModelStore {
+ public:
+  /// `shards` is clamped to [1, 256] and rounded up to a power of two.
+  explicit ModelStore(int shards = 8);
+  ModelStore(const ModelStore&) = delete;
+  ModelStore& operator=(const ModelStore&) = delete;
+
+  /// Publishes a trained model under `key`, replacing any previous snapshot
+  /// for the key. Returns the new snapshot's store-wide version. Throws
+  /// InvalidArgument if the model is untrained or its collective does not
+  /// match the key.
+  std::uint64_t publish(const ModelKey& key, core::CollectiveModel model);
+
+  /// The current snapshot for `key`, or nullptr if never published.
+  std::shared_ptr<const ModelSnapshot> lookup(const ModelKey& key) const;
+
+  /// lookup() with the wildcard-scale fallback: exact (collective,
+  /// comm_size, topology) first, then (collective, 0, topology).
+  std::shared_ptr<const ModelSnapshot> resolve(const ModelKey& key) const;
+
+  /// Number of published keys.
+  std::size_t size() const;
+
+  /// All published keys, sorted (deterministic for stats/debug output).
+  std::vector<ModelKey> keys() const;
+
+  int shards() const noexcept { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Entry {
+    std::atomic<std::shared_ptr<const ModelSnapshot>> snap;
+  };
+  struct Shard {
+    mutable std::shared_mutex mu;  ///< guards `entries` structure only
+    std::map<ModelKey, std::unique_ptr<Entry>> entries;
+  };
+
+  Shard& shard_for(const ModelKey& key) const;
+
+  mutable std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> next_version_{1};
+};
+
+}  // namespace acclaim::serve

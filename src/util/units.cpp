@@ -41,6 +41,7 @@ std::string format_seconds(double seconds) {
 }
 
 std::uint64_t parse_bytes(const std::string& label) {
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
   if (label.empty()) {
     throw ParseError("empty byte label", 1, 1);
   }
@@ -48,7 +49,13 @@ std::uint64_t parse_bytes(const std::string& label) {
   std::uint64_t value = 0;
   bool any = false;
   while (i < label.size() && std::isdigit(static_cast<unsigned char>(label[i]))) {
-    value = value * 10 + static_cast<std::uint64_t>(label[i] - '0');
+    const auto digit = static_cast<std::uint64_t>(label[i] - '0');
+    // Accumulate-overflow guard: a label like "99999999999999999999" must
+    // fail loudly, not wrap around to an arbitrary small size.
+    if (value > (kMax - digit) / 10) {
+      throw ParseError("byte label overflows 64 bits: '" + label + "'", 1, i + 1);
+    }
+    value = value * 10 + digit;
     ++i;
     any = true;
   }
@@ -59,17 +66,29 @@ std::uint64_t parse_bytes(const std::string& label) {
     return value;
   }
   const char suffix = static_cast<char>(std::toupper(static_cast<unsigned char>(label[i])));
-  if (i + 1 != label.size() && !(i + 2 == label.size() &&
-                                 std::toupper(static_cast<unsigned char>(label[i + 1])) == 'B')) {
-    throw ParseError("invalid byte label '" + label + "'", 1, i + 1);
-  }
+  std::uint64_t mult = 0;
   switch (suffix) {
-    case 'K': return value * 1024;
-    case 'M': return value * 1024 * 1024;
-    case 'G': return value * 1024ULL * 1024 * 1024;
-    case 'B': return value;
+    case 'K': mult = 1024ULL; break;
+    case 'M': mult = 1024ULL * 1024; break;
+    case 'G': mult = 1024ULL * 1024 * 1024; break;
+    case 'B': mult = 1; break;
     default: throw ParseError("invalid byte suffix in '" + label + "'", 1, i + 1);
   }
+  ++i;
+  // An optional trailing 'B' is allowed after a scale suffix ("64KB"), but a
+  // bare 'B' takes nothing after it: "1BB" (and any longer tail) is malformed.
+  if (i < label.size()) {
+    const char tail = static_cast<char>(std::toupper(static_cast<unsigned char>(label[i])));
+    if (mult == 1 || tail != 'B' || i + 1 != label.size()) {
+      throw ParseError("invalid byte label '" + label + "'", 1, i + 1);
+    }
+    ++i;
+  }
+  // Multiply-overflow guard for huge scaled labels ("1000000000000G").
+  if (mult > 1 && value > kMax / mult) {
+    throw ParseError("byte label overflows 64 bits: '" + label + "'", 1, 1);
+  }
+  return value * mult;
 }
 
 }  // namespace acclaim::util

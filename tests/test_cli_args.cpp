@@ -38,6 +38,68 @@ TEST(CliArgs, NumericAndByteConversions) {
   EXPECT_EQ(args.get_bytes("other", 128), 128u);
 }
 
+// Regression: malformed numeric flag values used to reach std::stoi/std::stod
+// unguarded — "--threads 4x" silently parsed as 4, and "--threads abc" threw
+// a raw std::invalid_argument that bypassed the CLI's error handler and
+// aborted. Every malformed value must now produce one InvalidArgument naming
+// the flag and the offending value.
+TEST(CliArgs, RejectsTrailingGarbageInIntFlags) {
+  const Args args = parse({"--threads", "4x"}, {"threads"});
+  try {
+    args.get_int("threads", 1);
+    FAIL() << "expected InvalidArgument";
+  } catch (const acclaim::InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--threads"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("4x"), std::string::npos) << msg;
+  }
+}
+
+TEST(CliArgs, RejectsNonNumericIntFlags) {
+  const Args args = parse({"--nodes", "abc", "--ppn", ""}, {"nodes", "ppn"});
+  EXPECT_THROW(args.get_int("nodes", 1), acclaim::InvalidArgument);
+  EXPECT_THROW(args.get_int("ppn", 1), acclaim::InvalidArgument);
+}
+
+TEST(CliArgs, RejectsOutOfRangeIntFlags) {
+  const Args args = parse({"--seed", "99999999999999999999"}, {"seed"});
+  EXPECT_THROW(args.get_int("seed", 1), acclaim::InvalidArgument);
+}
+
+TEST(CliArgs, RejectsMalformedDoubleFlags) {
+  const Args args =
+      parse({"--speedup", "1.5x", "--training", "oops"}, {"speedup", "training"});
+  EXPECT_THROW(args.get_double("speedup", 1.0), acclaim::InvalidArgument);
+  try {
+    args.get_double("training", 1.0);
+    FAIL() << "expected InvalidArgument";
+  } catch (const acclaim::InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--training"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("oops"), std::string::npos) << msg;
+  }
+}
+
+TEST(CliArgs, WrapsByteParseErrorsWithTheFlagName) {
+  const Args args = parse({"--msg", "1BB"}, {"msg"});
+  try {
+    args.get_bytes("msg", 8);
+    FAIL() << "expected InvalidArgument";
+  } catch (const acclaim::InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--msg"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("1BB"), std::string::npos) << msg;
+  }
+}
+
+TEST(CliArgs, StillAcceptsWellFormedNumericValues) {
+  const Args args = parse({"--threads", "8", "--speedup", "1.25", "--msg", "4KB"},
+                          {"threads", "speedup", "msg"});
+  EXPECT_EQ(args.get_int("threads", 1), 8);
+  EXPECT_DOUBLE_EQ(args.get_double("speedup", 1.0), 1.25);
+  EXPECT_EQ(args.get_bytes("msg", 0), 4096u);
+}
+
 TEST(CliArgs, RejectsMalformedInput) {
   EXPECT_THROW(parse({"nodes", "32"}, {"nodes"}), acclaim::InvalidArgument);  // no dashes
   EXPECT_THROW(parse({"--bogus", "1"}, {"nodes"}), acclaim::InvalidArgument);  // unknown

@@ -1,0 +1,425 @@
+// Tests for the acclaimd serving core: snapshot publication (copy-on-write,
+// concurrent readers), the sharded LRU decision cache, the NDJSON protocol's
+// untrusted-input handling, and the serving-vs-direct differential guarantee.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/model.hpp"
+#include "serve/daemon.hpp"
+#include "serve/decision_cache.hpp"
+#include "serve/model_store.hpp"
+#include "serve/protocol.hpp"
+#include "serve/serve_core.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace acclaim;
+
+/// A small trained model whose labels depend on `bias` so two fits of the
+/// same collective can be told apart by their selections.
+core::CollectiveModel trained_model(coll::Collective c, double bias = 2.0) {
+  std::vector<core::LabeledPoint> data;
+  double t = 10.0;
+  int alg_index = 0;
+  for (coll::Algorithm a : coll::algorithms_for(c)) {
+    ++alg_index;
+    for (int n : {2, 4, 8}) {
+      for (std::uint64_t msg : {64ull, 1024ull, 65536ull}) {
+        // With bias > 1 later algorithms get slower, with bias < 1 faster,
+        // flipping which algorithm wins.
+        const double cost = t * (bias > 1.0 ? alg_index * bias : 1.0 / (alg_index * -bias));
+        data.push_back({bench::BenchmarkPoint{bench::Scenario{c, n, 4, msg}, a}, cost});
+        t *= 1.13;
+      }
+    }
+  }
+  ml::ForestParams params = core::default_forest_params();
+  params.n_trees = 10;
+  core::CollectiveModel model(c, params);
+  model.fit(data, 17);
+  return model;
+}
+
+// ---------------------------------------------------------------------------
+// Copy-on-write model contract
+
+TEST(ModelCow, CopyKeepsAnsweringFromTheForestItWasCopiedWith) {
+  core::CollectiveModel original = trained_model(coll::Collective::Bcast, 2.0);
+  const core::CollectiveModel copy = original;  // shares the immutable forest
+
+  const bench::Scenario s{coll::Collective::Bcast, 4, 4, 1024};
+  const coll::Algorithm before = copy.select(s);
+  EXPECT_EQ(original.select(s), before);
+
+  // Refit the original with inverted labels; the copy must not move.
+  core::CollectiveModel refit = trained_model(coll::Collective::Bcast, -2.0);
+  std::vector<core::LabeledPoint> data;
+  int alg_index = 0;
+  for (coll::Algorithm a : coll::algorithms_for(coll::Collective::Bcast)) {
+    ++alg_index;
+    for (int n : {2, 4, 8}) {
+      data.push_back({bench::BenchmarkPoint{bench::Scenario{coll::Collective::Bcast, n, 4, 512}, a},
+                      1000.0 / alg_index});
+    }
+  }
+  original.fit(data, 23);
+  EXPECT_EQ(copy.select(s), before);
+  // And the copy still reports its own training size.
+  EXPECT_TRUE(copy.trained());
+}
+
+// ---------------------------------------------------------------------------
+// Model store
+
+TEST(ModelStore, PublishLookupAndWildcardResolve) {
+  serve::ModelStore store(4);
+  EXPECT_EQ(store.size(), 0u);
+  const serve::ModelKey exact{coll::Collective::Bcast, 32, "default"};
+  const serve::ModelKey wildcard{coll::Collective::Bcast, 0, "default"};
+
+  const std::uint64_t v1 = store.publish(wildcard, trained_model(coll::Collective::Bcast));
+  EXPECT_GE(v1, 1u);
+  EXPECT_EQ(store.size(), 1u);
+
+  // Exact key misses, wildcard fallback answers.
+  EXPECT_EQ(store.lookup(exact), nullptr);
+  const auto snap = store.resolve(exact);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version, v1);
+  EXPECT_EQ(snap->key.comm_size, 0);
+
+  // Publishing the exact key shadows the wildcard for that scale.
+  const std::uint64_t v2 = store.publish(exact, trained_model(coll::Collective::Bcast));
+  EXPECT_GT(v2, v1);
+  const auto snap2 = store.resolve(exact);
+  ASSERT_NE(snap2, nullptr);
+  EXPECT_EQ(snap2->version, v2);
+  // Other scales still fall back to the wildcard.
+  EXPECT_EQ(store.resolve({coll::Collective::Bcast, 64, "default"})->version, v1);
+  // Unknown topology resolves nothing.
+  EXPECT_EQ(store.resolve({coll::Collective::Bcast, 32, "torus"}), nullptr);
+}
+
+TEST(ModelStore, RejectsUntrainedAndMismatchedModels) {
+  serve::ModelStore store(1);
+  EXPECT_THROW(store.publish({coll::Collective::Bcast, 0, "default"}, core::CollectiveModel{}),
+               InvalidArgument);
+  EXPECT_THROW(store.publish({coll::Collective::Allreduce, 0, "default"},
+                             trained_model(coll::Collective::Bcast)),
+               InvalidArgument);
+}
+
+TEST(ModelStore, RepublishKeepsOldSnapshotAliveForHolders) {
+  serve::ModelStore store(2);
+  const serve::ModelKey key{coll::Collective::Bcast, 0, "default"};
+  store.publish(key, trained_model(coll::Collective::Bcast, 2.0));
+  const auto old_snap = store.lookup(key);
+  ASSERT_NE(old_snap, nullptr);
+  const bench::Scenario s{coll::Collective::Bcast, 4, 4, 1024};
+  const coll::Algorithm old_answer = old_snap->model.select(s);
+
+  store.publish(key, trained_model(coll::Collective::Bcast, -2.0));
+  const auto new_snap = store.lookup(key);
+  ASSERT_NE(new_snap, nullptr);
+  EXPECT_GT(new_snap->version, old_snap->version);
+  // The held snapshot still answers from the forest it was published with.
+  EXPECT_EQ(old_snap->model.select(s), old_answer);
+}
+
+TEST(ModelStore, ConcurrentReadersNeverSeeATornSnapshot) {
+  serve::ModelStore store(2);
+  const serve::ModelKey key{coll::Collective::Bcast, 0, "default"};
+  const core::CollectiveModel a = trained_model(coll::Collective::Bcast, 2.0);
+  const core::CollectiveModel b = trained_model(coll::Collective::Bcast, -2.0);
+  store.publish(key, a);
+
+  const bench::Scenario s{coll::Collective::Bcast, 8, 4, 4096};
+  const coll::Algorithm answer_a = a.select(s);
+  const coll::Algorithm answer_b = b.select(s);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto snap = store.resolve(key);
+        if (!snap) {
+          bad.fetch_add(1);
+          continue;
+        }
+        // Whatever version we got, its selection must be one of the two
+        // published models' answers, and the snapshot must be internally
+        // consistent (version matches the model's bits).
+        const coll::Algorithm got = snap->model.select(s);
+        if (got != answer_a && got != answer_b) {
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 25; ++i) {
+    store.publish(key, i % 2 == 0 ? b : a);
+  }
+  stop.store(true);
+  for (auto& r : readers) {
+    r.join();
+  }
+  EXPECT_EQ(bad.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Decision cache
+
+TEST(DecisionCache, QuantizationIsLossless) {
+  // Distinct integer scenarios must produce distinct keys — this is what
+  // makes cached answers bitwise-identical to direct selection.
+  std::set<serve::DecisionKey> keys;
+  std::size_t scenarios = 0;
+  for (int n : {2, 3, 4, 63, 64}) {
+    for (int ppn : {1, 2, 16, 17}) {
+      for (std::uint64_t msg : {8ull, 9ull, 1024ull, 123457ull, 1048576ull}) {
+        for (coll::Collective c : {coll::Collective::Bcast, coll::Collective::Allreduce}) {
+          keys.insert(serve::quantize(1, bench::Scenario{c, n, ppn, msg}));
+          ++scenarios;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(keys.size(), scenarios);
+  // A republished snapshot changes the key, invalidating stale decisions.
+  const bench::Scenario s{coll::Collective::Bcast, 4, 4, 1024};
+  EXPECT_NE(serve::quantize(1, s), serve::quantize(2, s));
+}
+
+TEST(DecisionCache, HitMissAndEvictionCounters) {
+  serve::DecisionCache cache(4, 1);  // one shard: LRU order is global
+  const auto key = [](std::uint64_t msg) {
+    return serve::quantize(1, bench::Scenario{coll::Collective::Bcast, 2, 2, msg});
+  };
+  EXPECT_FALSE(cache.get(key(1)).has_value());
+  for (std::uint64_t m = 1; m <= 4; ++m) {
+    cache.put(key(m), coll::Algorithm::BcastBinomial);
+  }
+  EXPECT_TRUE(cache.get(key(1)).has_value());  // refreshes 1 to MRU
+  cache.put(key(5), coll::Algorithm::BcastBinomial);  // evicts 2 (LRU), not 1
+  EXPECT_TRUE(cache.get(key(1)).has_value());
+  EXPECT_FALSE(cache.get(key(2)).has_value());
+  EXPECT_TRUE(cache.get(key(5)).has_value());
+
+  const auto st = cache.stats();
+  EXPECT_EQ(st.capacity, 4u);
+  EXPECT_EQ(st.entries, 4u);
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_EQ(st.hits, 3u);
+  EXPECT_EQ(st.misses, 2u);
+}
+
+TEST(DecisionCache, CapacityHoldsAcrossShards) {
+  serve::DecisionCache cache(64, 8);
+  for (std::uint64_t m = 1; m <= 1000; ++m) {
+    cache.put(serve::quantize(1, bench::Scenario{coll::Collective::Bcast, 2, 2, m}),
+              coll::Algorithm::BcastBinomial);
+  }
+  const auto st = cache.stats();
+  EXPECT_LE(st.entries, 64u);
+  EXPECT_GE(st.evictions, 1000u - 64u - 8u);  // slack: per-shard splits round up
+}
+
+// ---------------------------------------------------------------------------
+// Serving core: differential guarantee
+
+TEST(ServeCore, ServingMatchesDirectSelectionOnHitAndMissPaths) {
+  serve::ServeConfig cfg;
+  cfg.cache_capacity = 32;  // small enough to force evictions mid-test
+  serve::ServeCore core(cfg);
+  const core::CollectiveModel model = trained_model(coll::Collective::Bcast);
+  core.publish({coll::Collective::Bcast, 0, "default"}, model);
+
+  std::vector<bench::Scenario> scenarios;
+  for (int n : {2, 3, 4, 8, 16, 33}) {
+    for (int ppn : {1, 4, 16}) {
+      for (std::uint64_t msg : {8ull, 100ull, 1024ull, 9999ull, 1048576ull}) {
+        scenarios.push_back({coll::Collective::Bcast, n, ppn, msg});
+      }
+    }
+  }
+  // Miss path (first pass) and hit path (second pass) both match direct
+  // selection bit for bit.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const bench::Scenario& s : scenarios) {
+      EXPECT_EQ(core.select(s).algorithm, model.select(s)) << s.to_string();
+    }
+  }
+  // Batched path matches too.
+  const std::vector<serve::Decision> batched = core.select_batch(scenarios);
+  const std::vector<coll::Algorithm> direct = model.select_batch(scenarios);
+  ASSERT_EQ(batched.size(), direct.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched[i].algorithm, direct[i]) << scenarios[i].to_string();
+  }
+  const auto st = core.cache_stats();
+  EXPECT_GT(st.hits, 0u);
+  EXPECT_GT(st.misses, 0u);
+}
+
+TEST(ServeCore, SecondIdenticalQueryIsACacheHit) {
+  serve::ServeCore core;
+  core.publish({coll::Collective::Allreduce, 0, "default"},
+               trained_model(coll::Collective::Allreduce));
+  const bench::Scenario s{coll::Collective::Allreduce, 4, 4, 2048};
+  const serve::Decision first = core.select(s);
+  EXPECT_FALSE(first.cache_hit);
+  const serve::Decision second = core.select(s);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.algorithm, second.algorithm);
+  EXPECT_EQ(first.version, second.version);
+}
+
+TEST(ServeCore, UnservedScenarioThrowsNotFound) {
+  serve::ServeCore core;
+  EXPECT_THROW(core.select({coll::Collective::Bcast, 4, 4, 1024}), NotFoundError);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol: untrusted input never crashes
+
+TEST(Protocol, MalformedRequestsThrowTypedErrors) {
+  EXPECT_THROW(serve::parse_request("{bad json"), ParseError);
+  EXPECT_THROW(serve::parse_request("[1,2]"), InvalidArgument);
+  EXPECT_THROW(serve::parse_request("{}"), InvalidArgument);
+  EXPECT_THROW(serve::parse_request(R"({"op":"warp"})"), InvalidArgument);
+  EXPECT_THROW(serve::parse_request(R"({"op":"query"})"), InvalidArgument);
+  EXPECT_THROW(
+      serve::parse_request(R"({"op":"query","collective":"bcast","nodes":0,"ppn":1,"msg":8})"),
+      InvalidArgument);
+  EXPECT_THROW(
+      serve::parse_request(
+          R"({"op":"query","collective":"bcast","nodes":4.5,"ppn":1,"msg":8})"),
+      InvalidArgument);
+  EXPECT_THROW(
+      serve::parse_request(
+          R"({"op":"query","collective":"bcast","nodes":99999999,"ppn":1,"msg":8})"),
+      InvalidArgument);
+  EXPECT_THROW(
+      serve::parse_request(R"({"op":"query","collective":"nope","nodes":4,"ppn":1,"msg":8})"),
+      InvalidArgument);
+  EXPECT_THROW(serve::parse_request(R"({"op":"batch","queries":[]})"), InvalidArgument);
+  EXPECT_THROW(serve::parse_request(R"({"op":"publish","path":""})"), InvalidArgument);
+}
+
+TEST(Protocol, RoundTripsWellFormedRequests) {
+  const serve::Request req = serve::parse_request(
+      R"({"op":"query","collective":"allreduce","nodes":16,"ppn":32,"msg":65536})");
+  EXPECT_EQ(req.op, serve::Op::Query);
+  ASSERT_EQ(req.queries.size(), 1u);
+  EXPECT_EQ(req.queries[0].collective, coll::Collective::Allreduce);
+  EXPECT_EQ(req.queries[0].nnodes, 16);
+  EXPECT_EQ(req.queries[0].ppn, 32);
+  EXPECT_EQ(req.queries[0].msg_bytes, 65536u);
+  // Serialize and reparse.
+  const serve::Request again = serve::parse_request(serve::request_to_json(req).dump());
+  EXPECT_EQ(again.queries[0].msg_bytes, req.queries[0].msg_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Daemon
+
+class DaemonTest : public ::testing::Test {
+ protected:
+  DaemonTest() : core_(), daemon_(core_) {
+    core_.publish({coll::Collective::Bcast, 0, "default"},
+                  trained_model(coll::Collective::Bcast));
+  }
+
+  util::Json respond(const std::string& line) {
+    return util::Json::parse(daemon_.handle_line(line));
+  }
+
+  serve::ServeCore core_;
+  serve::Daemon daemon_;
+};
+
+TEST_F(DaemonTest, AnswersQueriesWithTheModelsAnswer) {
+  const util::Json r =
+      respond(R"({"op":"query","collective":"bcast","nodes":4,"ppn":8,"msg":4096})");
+  ASSERT_TRUE(r.at("ok").as_bool());
+  const bench::Scenario s{coll::Collective::Bcast, 4, 8, 4096};
+  const auto snap = core_.store().resolve({coll::Collective::Bcast, 32, "default"});
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(r.at("algorithm").as_string(), coll::algorithm_info(snap->model.select(s)).name);
+}
+
+TEST_F(DaemonTest, MalformedLinesBecomeErrorResponsesNotCrashes) {
+  for (const char* line :
+       {"nonsense", "{", R"({"op":"query"})", R"({"op":"query","collective":"bcast",
+        "nodes":-1,"ppn":8,"msg":4096})",
+        R"({"op":"publish","path":"/nonexistent/model.json"})"}) {
+    const util::Json r = respond(line);
+    EXPECT_FALSE(r.at("ok").as_bool()) << line;
+    EXPECT_FALSE(r.at("error").as_string().empty()) << line;
+  }
+  EXPECT_FALSE(daemon_.shutdown_requested());
+}
+
+TEST_F(DaemonTest, QueryForUnservedCollectiveIsAnErrorResponse) {
+  const util::Json r =
+      respond(R"({"op":"query","collective":"reduce","nodes":4,"ppn":8,"msg":4096})");
+  EXPECT_FALSE(r.at("ok").as_bool());
+}
+
+TEST_F(DaemonTest, BatchReturnsOneResultPerQueryInOrder) {
+  const util::Json r = respond(
+      R"({"op":"batch","queries":[)"
+      R"({"collective":"bcast","nodes":2,"ppn":4,"msg":64},)"
+      R"({"collective":"bcast","nodes":8,"ppn":4,"msg":65536}]})");
+  ASSERT_TRUE(r.at("ok").as_bool());
+  const util::JsonArray& results = r.at("results").as_array();
+  ASSERT_EQ(results.size(), 2u);
+  const auto snap = core_.store().resolve({coll::Collective::Bcast, 8, "default"});
+  EXPECT_EQ(results[0].at("algorithm").as_string(),
+            coll::algorithm_info(snap->model.select({coll::Collective::Bcast, 2, 4, 64})).name);
+  EXPECT_EQ(
+      results[1].at("algorithm").as_string(),
+      coll::algorithm_info(snap->model.select({coll::Collective::Bcast, 8, 4, 65536})).name);
+}
+
+TEST_F(DaemonTest, StatsReportsCacheCounters) {
+  respond(R"({"op":"query","collective":"bcast","nodes":4,"ppn":8,"msg":4096})");
+  respond(R"({"op":"query","collective":"bcast","nodes":4,"ppn":8,"msg":4096})");
+  const util::Json r = respond(R"({"op":"stats"})");
+  ASSERT_TRUE(r.at("ok").as_bool());
+  EXPECT_EQ(r.at("models").as_number(), 1.0);
+  EXPECT_GE(r.at("cache_hits").as_number(), 1.0);
+  EXPECT_GE(r.at("cache_misses").as_number(), 1.0);
+}
+
+TEST_F(DaemonTest, ServeStreamHandlesLinesUntilShutdown) {
+  std::istringstream in(
+      "{\"op\":\"ping\"}\n"
+      "not json at all\n"
+      "{\"op\":\"shutdown\"}\n"
+      "{\"op\":\"ping\"}\n");  // never reached: shutdown stops the loop
+  std::ostringstream out;
+  const std::uint64_t handled = daemon_.serve_stream(in, out);
+  EXPECT_EQ(handled, 3u);
+  EXPECT_TRUE(daemon_.shutdown_requested());
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_TRUE(util::Json::parse(line).at("ok").as_bool());
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_FALSE(util::Json::parse(line).at("ok").as_bool());
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_TRUE(util::Json::parse(line).at("ok").as_bool());
+  EXPECT_FALSE(std::getline(lines, line));
+}
+
+}  // namespace

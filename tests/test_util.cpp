@@ -215,6 +215,30 @@ TEST(Units, ParseBytes) {
   }
 }
 
+// Regression: "1BB" used to parse as 1 byte (the trailing-'B' branch did not
+// check what it followed), and overflowing labels silently wrapped around to
+// arbitrary small sizes.
+TEST(Units, ParseBytesRejectsMalformedSuffixes) {
+  EXPECT_THROW(parse_bytes("1BB"), acclaim::ParseError);
+  EXPECT_THROW(parse_bytes("1KBB"), acclaim::ParseError);
+  EXPECT_THROW(parse_bytes("4KX"), acclaim::ParseError);
+  EXPECT_THROW(parse_bytes("16E"), acclaim::ParseError);
+  EXPECT_THROW(parse_bytes("2K2"), acclaim::ParseError);
+  // Still-valid forms: bare bytes, scale suffix, scale + trailing B.
+  EXPECT_EQ(parse_bytes("10B"), 10u);
+  EXPECT_EQ(parse_bytes("4KB"), 4096u);
+  EXPECT_EQ(parse_bytes("2gb"), 2ULL << 30);
+}
+
+TEST(Units, ParseBytesDetectsOverflow) {
+  // Accumulate overflow: more digits than uint64 holds.
+  EXPECT_THROW(parse_bytes("99999999999999999999"), acclaim::ParseError);
+  // Multiply overflow: the digits fit but the scaled value does not.
+  EXPECT_THROW(parse_bytes("99999999999999999G"), acclaim::ParseError);
+  // The largest representable scaled values still parse.
+  EXPECT_EQ(parse_bytes("17179869183G"), 17179869183ULL << 30);
+}
+
 TEST(Units, FormatSeconds) {
   EXPECT_EQ(format_seconds(5e-6), "5.0 us");
   EXPECT_EQ(format_seconds(0.25), "250.0 ms");

@@ -28,13 +28,17 @@
 #include "core/evaluator.hpp"
 #include "core/heuristic.hpp"
 #include "core/pipeline.hpp"
+#include "core/model.hpp"
 #include "platform/app_model.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
 #include "telemetry/audit.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/profiler.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/trace.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -351,6 +355,107 @@ int cmd_inspect(const cli::Args& args) {
   return 0;
 }
 
+// Loads a model JSON file and publishes it into `core` under the scale/
+// topology requested on the command line (nodes/ppn 0 = wildcard key that
+// serves every scale).
+std::uint64_t publish_model_file(serve::ServeCore& core, const std::string& path, int nodes,
+                                 int ppn, const std::string& topology) {
+  core::CollectiveModel model = core::CollectiveModel::from_json(util::Json::parse_file(path));
+  const serve::ModelKey key{model.collective(), nodes * ppn, topology};
+  const std::uint64_t version = core.publish(key, std::move(model));
+  std::cerr << "published " << path << " as " << key.to_string() << " (v" << version << ")\n";
+  return version;
+}
+
+int cmd_serve(const cli::Args& args) {
+  open_telemetry(args);
+  serve::ServeConfig cfg;
+  cfg.store_shards = args.get_int("store-shards", 8);
+  cfg.cache_shards = args.get_int("cache-shards", 8);
+  cfg.cache_capacity = static_cast<std::size_t>(args.get_int("cache-capacity", 1 << 16));
+  serve::ServeCore core(cfg);
+  const int nodes = args.get_int("nodes", 0);
+  const int ppn = args.get_int("ppn", 0);
+  const std::string topology = args.get("topology", "default");
+  for (const std::string& path : cli::split_csv(args.get("model", ""))) {
+    publish_model_file(core, path, nodes, ppn, topology);
+  }
+  serve::Daemon daemon(core);
+  std::uint64_t handled = 0;
+  if (args.has("socket")) {
+    handled = daemon.serve_unix_socket(args.get("socket"));
+  } else {
+    // Responses go to stdout, so keep chatter on stderr.
+    handled = daemon.serve_stream(std::cin, std::cout);
+  }
+  std::cerr << "acclaimd served " << handled << " requests\n";
+  finish_telemetry(args);
+  return 0;
+}
+
+int cmd_query(const cli::Args& args) {
+  const std::string op = args.get("op", "query");
+  auto scenario_from_flags = [&args]() {
+    bench::Scenario s;
+    s.collective = coll::parse_collective(args.require_flag("collective"));
+    s.nnodes = args.get_int("nodes", 16);
+    s.ppn = args.get_int("ppn", 16);
+    s.msg_bytes = args.get_bytes("msg", 1024);
+    return s;
+  };
+
+  if (args.has("socket")) {
+    serve::Request req;
+    if (op == "query") {
+      req.op = serve::Op::Query;
+      req.queries.push_back(scenario_from_flags());
+      req.topology = args.get("topology", "default");
+    } else if (op == "ping") {
+      req.op = serve::Op::Ping;
+    } else if (op == "stats") {
+      req.op = serve::Op::Stats;
+    } else if (op == "shutdown") {
+      req.op = serve::Op::Shutdown;
+    } else if (op == "publish") {
+      req.op = serve::Op::Publish;
+      req.path = args.require_flag("path");
+      req.nodes = args.get_int("nodes", 0);
+      req.ppn = args.get_int("ppn", 0);
+      req.topology = args.get("topology", "default");
+    } else {
+      throw InvalidArgument("unknown --op '" + op +
+                            "' (query | ping | stats | shutdown | publish)");
+    }
+    std::cout << serve::unix_socket_request(args.get("socket"),
+                                            serve::request_to_json(req).dump())
+              << "\n";
+    return 0;
+  }
+
+  // Direct mode: answer from the model file in-process, emitting the same
+  // response shape as the daemon. The CI smoke test diffs this against the
+  // daemon's answer to prove serving is bitwise-faithful to the model.
+  if (op != "query") {
+    throw InvalidArgument("direct mode (--model) supports only --op query");
+  }
+  const core::CollectiveModel model =
+      core::CollectiveModel::from_json(util::Json::parse_file(args.require_flag("model")));
+  const bench::Scenario s = scenario_from_flags();
+  if (model.collective() != s.collective) {
+    throw InvalidArgument(std::string("model is for ") +
+                          coll::collective_name(model.collective()) + ", not " +
+                          coll::collective_name(s.collective));
+  }
+  util::Json doc = util::Json::object();
+  doc["ok"] = true;
+  doc["op"] = "query";
+  doc["algorithm"] = coll::algorithm_info(model.select(s)).name;
+  doc["cached"] = false;
+  doc["version"] = 0;
+  std::cout << doc.dump() << "\n";
+  return 0;
+}
+
 int cmd_breakeven(const cli::Args& args) {
   const double training_s = args.get_double("training", 300.0);
   if (args.has("speedup")) {
@@ -404,6 +509,15 @@ commands:
                   --rules FILE --collective C [--nodes N] [--ppn P] [--msg SIZE]
   inspect       summarize a dataset CSV
                   --dataset FILE
+  serve         run the acclaimd model-serving daemon (NDJSON protocol)
+                  [--model FILE[,FILE...]] [--socket PATH]  (default: stdin/stdout)
+                  [--nodes N --ppn P] [--topology T]        (publish key; 0 = any scale)
+                  [--cache-capacity N] [--store-shards N] [--cache-shards N]
+                  [--threads N] [--metrics-out FILE.json] [--prom-out FILE.prom]
+  query         ask a daemon (--socket) or a model file directly (--model)
+                  --socket PATH | --model FILE
+                  --collective C [--nodes N] [--ppn P] [--msg SIZE] [--topology T]
+                  [--op query|ping|stats|shutdown|publish] [--path MODEL.json]
   breakeven     training-cost amortization (Fig. 15)
                   [--training SECONDS] [--speedup S]
 )";
@@ -499,6 +613,18 @@ int main(int argc, char** argv) {
     }
     if (cmd == "inspect") {
       return cmd_inspect(cli::Args(argc - 2, argv + 2, {"dataset"}));
+    }
+    if (cmd == "serve") {
+      return cmd_serve(cli::Args(argc - 2, argv + 2,
+                                 {"model", "socket", "nodes", "ppn", "topology",
+                                  "store-shards", "cache-shards", "cache-capacity",
+                                  "threads", "trace-out", "metrics-out", "chrome-out",
+                                  "audit-out", "profile-out", "prom-out"}));
+    }
+    if (cmd == "query") {
+      return cmd_query(cli::Args(argc - 2, argv + 2,
+                                 {"socket", "model", "op", "collective", "nodes", "ppn",
+                                  "msg", "topology", "path"}));
     }
     if (cmd == "breakeven") {
       return cmd_breakeven(cli::Args(argc - 2, argv + 2, {"training", "speedup"}));

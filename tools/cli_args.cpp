@@ -1,11 +1,60 @@
 #include "cli_args.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
 
 #include "util/error.hpp"
 #include "util/units.hpp"
 
 namespace acclaim::cli {
+
+namespace {
+
+/// One-line usage error for a flag whose value failed to convert. Always
+/// names the flag and the offending value so `acclaim train --threads abc`
+/// dies with a message the user can act on instead of an uncaught
+/// std::invalid_argument abort.
+[[noreturn]] void bad_value(const std::string& flag, const std::string& value,
+                            const char* expected) {
+  throw InvalidArgument("flag '--" + flag + "' expects " + expected + ", got '" + value +
+                        "'");
+}
+
+/// Strict base-10 integer: the whole token must convert (trailing garbage
+/// like "4x" is rejected, unlike std::stoi) and the result must fit int.
+int parse_int_value(const std::string& flag, const std::string& value) {
+  const char* begin = value.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const long long n = std::strtoll(begin, &end, 10);
+  if (end == begin || *end != '\0') {
+    bad_value(flag, value, "an integer");
+  }
+  if (errno == ERANGE || n < std::numeric_limits<int>::min() ||
+      n > std::numeric_limits<int>::max()) {
+    bad_value(flag, value, "an integer in int range");
+  }
+  return static_cast<int>(n);
+}
+
+/// Strict floating-point: whole-token conversion to a finite double.
+double parse_double_value(const std::string& flag, const std::string& value) {
+  const char* begin = value.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double d = std::strtod(begin, &end);
+  if (end == begin || *end != '\0') {
+    bad_value(flag, value, "a number");
+  }
+  if (errno == ERANGE) {
+    bad_value(flag, value, "a number in double range");
+  }
+  return d;
+}
+
+}  // namespace
 
 Args::Args(int argc, char** argv, const std::vector<std::string>& known_flags) {
   for (int i = 0; i < argc; ++i) {
@@ -40,15 +89,24 @@ std::string Args::require_flag(const std::string& flag) const {
 }
 
 int Args::get_int(const std::string& flag, int fallback) const {
-  return has(flag) ? std::stoi(values_.at(flag)) : fallback;
+  return has(flag) ? parse_int_value(flag, values_.at(flag)) : fallback;
 }
 
 double Args::get_double(const std::string& flag, double fallback) const {
-  return has(flag) ? std::stod(values_.at(flag)) : fallback;
+  return has(flag) ? parse_double_value(flag, values_.at(flag)) : fallback;
 }
 
 std::uint64_t Args::get_bytes(const std::string& flag, std::uint64_t fallback) const {
-  return has(flag) ? util::parse_bytes(values_.at(flag)) : fallback;
+  if (!has(flag)) {
+    return fallback;
+  }
+  const std::string& value = values_.at(flag);
+  try {
+    return util::parse_bytes(value);
+  } catch (const ParseError& e) {
+    throw InvalidArgument("flag '--" + flag + "' expects a byte size (e.g. 64, 4K, 1M), got '" +
+                          value + "': " + e.what());
+  }
 }
 
 std::vector<std::string> split_csv(const std::string& s) {
