@@ -1,6 +1,7 @@
 #include "serve/daemon.hpp"
 
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -70,7 +71,8 @@ std::string Daemon::handle_line(const std::string& line) {
       case Op::Publish: {
         const core::CollectiveModel model =
             core::CollectiveModel::from_json(util::Json::parse_file(req.path));
-        const ModelKey key{model.collective(), req.nodes * req.ppn, req.topology};
+        const ModelKey key{model.collective(), checked_comm_size(req.nodes, req.ppn),
+                           req.topology};
         const std::uint64_t version = core_.publish(key, model);
         util::Json fields = util::Json::object();
         fields["key"] = key.to_string();
@@ -129,6 +131,30 @@ sockaddr_un socket_address(const std::string& path) {
   return addr;
 }
 
+/// Clears the way for bind() at `path`. A missing file is fine; a socket
+/// file that nothing accepts on (a dead daemon's leftover) is unlinked.
+/// Anything else is an error rather than collateral damage: a regular file
+/// there is almost certainly a typo'd path, and a socket a peer accepts on
+/// is a live daemon.
+void claim_socket_path(const std::string& path, const sockaddr_un& addr) {
+  struct stat st{};
+  if (::lstat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) {
+      return;
+    }
+    throw IoError("cannot stat socket path " + path + ": " + std::strerror(errno));
+  }
+  if (!S_ISSOCK(st.st_mode)) {
+    throw IoError("refusing to replace " + path + ": exists and is not a socket");
+  }
+  Fd probe(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (probe.get() >= 0 &&
+      ::connect(probe.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+    throw IoError("another daemon is already listening on " + path);
+  }
+  ::unlink(path.c_str());
+}
+
 /// Sends all of `data` (blocking).
 void send_all(int fd, const std::string& data) {
   std::size_t off = 0;
@@ -149,7 +175,7 @@ std::uint64_t Daemon::serve_unix_socket(const std::string& path) {
     throw IoError(std::string("cannot create unix socket: ") + std::strerror(errno));
   }
   const sockaddr_un addr = socket_address(path);
-  ::unlink(path.c_str());  // replace a stale socket file from a dead daemon
+  claim_socket_path(path, addr);
   if (::bind(listener.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
     throw IoError("cannot bind unix socket " + path + ": " + std::strerror(errno));
   }

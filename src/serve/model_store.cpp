@@ -66,8 +66,17 @@ std::uint64_t ModelStore::publish(const ModelKey& key, core::CollectiveModel mod
     std::unique_lock lock(shard.mu);
     entry = shard.entries.try_emplace(key, std::make_unique<Entry>()).first->second.get();
   }
+  // Install only if newer: two publishers racing on one key can reach this
+  // point out of version order, and the older snapshot must never end up
+  // visible after the newer one was stored.
   const std::uint64_t version = snap->version;
-  entry->snap.store(std::move(snap), std::memory_order_release);
+  auto cur = entry->snap.load(std::memory_order_acquire);
+  while (cur == nullptr || cur->version < version) {
+    if (entry->snap.compare_exchange_weak(cur, snap, std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+      break;
+    }
+  }
   return version;
 }
 

@@ -11,8 +11,9 @@
 // Locking discipline:
 //  * the per-shard shared_mutex guards only the key -> entry map structure;
 //    writers take it exclusively only to insert a *new* key;
-//  * republishing an existing key is a lock-free atomic store into the
-//    entry's snapshot slot;
+//  * republishing an existing key is a lock-free compare-exchange on the
+//    entry's snapshot slot that only installs a higher version, so racing
+//    publishers cannot leave an older model visible;
 //  * readers take the shared side to resolve the entry, then an atomic load.
 //    Entries are never erased, so a resolved Entry pointer stays valid for
 //    the store's lifetime and hot paths may cache it (ServeCore does).
@@ -63,9 +64,10 @@ class ModelStore {
   ModelStore& operator=(const ModelStore&) = delete;
 
   /// Publishes a trained model under `key`, replacing any previous snapshot
-  /// for the key. Returns the new snapshot's store-wide version. Throws
-  /// InvalidArgument if the model is untrained or its collective does not
-  /// match the key.
+  /// for the key. Returns the new snapshot's store-wide version. Under
+  /// concurrent publishes to one key the highest version wins — the visible
+  /// snapshot's version never moves backwards. Throws InvalidArgument if the
+  /// model is untrained or its collective does not match the key.
   std::uint64_t publish(const ModelKey& key, core::CollectiveModel model);
 
   /// The current snapshot for `key`, or nullptr if never published.

@@ -1,5 +1,7 @@
 #include "serve/protocol.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace acclaim::serve {
@@ -12,9 +14,17 @@ std::int64_t int_field(const util::Json& obj, const std::string& key, std::int64
   require(obj.contains(key), ("request is missing '" + key + "'").c_str());
   const util::Json& v = obj.at(key);
   require(v.is_number(), ("request field '" + key + "' must be a number").c_str());
+  // Range-check in the double domain before casting: converting a double
+  // outside int64's range (e.g. 1e300, or NaN) to int64 is itself UB, so the
+  // cast may only happen once the value is known to fit. lo/hi used here are
+  // small ints or powers of two, hence exact as doubles.
   const double d = v.as_number();
+  if (!(d >= static_cast<double>(lo) && d <= static_cast<double>(hi)) || d != std::trunc(d)) {
+    throw InvalidArgument("request field '" + key + "' out of range [" + std::to_string(lo) +
+                          ", " + std::to_string(hi) + "]: " + v.dump());
+  }
   const auto n = static_cast<std::int64_t>(d);
-  if (static_cast<double>(n) != d || n < lo || n > hi) {
+  if (n < lo || n > hi) {
     throw InvalidArgument("request field '" + key + "' out of range [" + std::to_string(lo) +
                           ", " + std::to_string(hi) + "]: " + v.dump());
   }
@@ -28,6 +38,7 @@ bench::Scenario scenario_from(const util::Json& obj) {
   s.collective = coll::parse_collective(obj.at("collective").as_string());
   s.nnodes = static_cast<int>(int_field(obj, "nodes", 1, kMaxNodes));
   s.ppn = static_cast<int>(int_field(obj, "ppn", 1, kMaxPpn));
+  checked_comm_size(s.nnodes, s.ppn);  // joint cap: nranks() must stay int-safe
   // msg is bytes; ~2^62 caps it far below uint64 wrap while allowing any
   // plausible message size.
   s.msg_bytes = static_cast<std::uint64_t>(
@@ -46,6 +57,18 @@ std::string topology_from(const util::Json& obj) {
 }
 
 }  // namespace
+
+int checked_comm_size(std::int64_t nodes, std::int64_t ppn) {
+  // Both operands are bounded well below 2^32 everywhere this is called, so
+  // the 64-bit product itself cannot wrap; only the int-range check remains.
+  const std::int64_t ranks = nodes * ppn;
+  if (nodes < 0 || ppn < 0 || ranks > kMaxRanks) {
+    throw InvalidArgument("nodes x ppn = " + std::to_string(nodes) + " x " +
+                          std::to_string(ppn) + " exceeds the rank cap " +
+                          std::to_string(kMaxRanks));
+  }
+  return static_cast<int>(ranks);
+}
 
 const char* op_name(Op op) {
   switch (op) {
@@ -96,9 +119,16 @@ Request parse_request(const std::string& line) {
     require(doc.at("path").is_string(), "publish field 'path' must be a string");
     req.path = doc.at("path").as_string();
     require(!req.path.empty(), "publish field 'path' must not be empty");
-    req.nodes = doc.contains("nodes") ? static_cast<int>(int_field(doc, "nodes", 1, kMaxNodes))
-                                      : 0;
-    req.ppn = doc.contains("ppn") ? static_cast<int>(int_field(doc, "ppn", 1, kMaxPpn)) : 0;
+    // nodes/ppn come as a pair or not at all: one without the other would
+    // silently make comm_size 0 and register the model under the wildcard
+    // scale instead of the intended one.
+    require(doc.contains("nodes") == doc.contains("ppn"),
+            "publish requires 'nodes' and 'ppn' together (or neither, for the wildcard scale)");
+    if (doc.contains("nodes")) {
+      req.nodes = static_cast<int>(int_field(doc, "nodes", 1, kMaxNodes));
+      req.ppn = static_cast<int>(int_field(doc, "ppn", 1, kMaxPpn));
+      checked_comm_size(req.nodes, req.ppn);
+    }
     req.topology = topology_from(doc);
   } else {
     throw InvalidArgument("unknown op '" + op + "'");

@@ -46,11 +46,21 @@ struct Request {
 };
 
 /// Upper bounds on untrusted numeric fields. Generous compared to any real
-/// machine, tight enough that a hostile request cannot drive nnodes*ppn into
-/// overflow or a multi-gigabyte allocation.
+/// machine, tight enough that a hostile request cannot drive a
+/// multi-gigabyte allocation. `nodes` and `ppn` are additionally bounded
+/// jointly: kMaxNodes x kMaxPpn alone would be 2^38 (> INT_MAX), so every
+/// comm size must come through checked_comm_size(), which enforces kMaxRanks
+/// and keeps nnodes*ppn int-safe downstream (Scenario::nranks,
+/// ModelKey::comm_size).
 inline constexpr std::int64_t kMaxNodes = 1 << 22;
 inline constexpr std::int64_t kMaxPpn = 1 << 16;
+inline constexpr std::int64_t kMaxRanks = std::int64_t{1} << 28;
 inline constexpr std::size_t kMaxBatch = 1 << 16;
+
+/// nodes x ppn computed in 64-bit and checked against kMaxRanks; throws
+/// InvalidArgument when the product exceeds the cap. The one sanctioned way
+/// to turn a (nodes, ppn) pair into a comm size.
+int checked_comm_size(std::int64_t nodes, std::int64_t ppn);
 
 /// Parses one NDJSON request line. Throws ParseError (malformed JSON) or
 /// InvalidArgument (schema/range violations) with a one-line message; the

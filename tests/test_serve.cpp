@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -175,6 +177,32 @@ TEST(ModelStore, ConcurrentReadersNeverSeeATornSnapshot) {
   EXPECT_EQ(bad.load(), 0);
 }
 
+TEST(ModelStore, ConcurrentPublishersNeverLeaveAnOlderVersionVisible) {
+  // Racing publishers can fetch versions in one order and store in another;
+  // the store must keep the highest version visible regardless.
+  serve::ModelStore store(2);
+  const serve::ModelKey key{coll::Collective::Bcast, 0, "default"};
+  const core::CollectiveModel model = trained_model(coll::Collective::Bcast);
+  std::atomic<std::uint64_t> max_version{0};
+  std::vector<std::thread> publishers;
+  for (int t = 0; t < 4; ++t) {
+    publishers.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        const std::uint64_t v = store.publish(key, model);
+        std::uint64_t seen = max_version.load();
+        while (seen < v && !max_version.compare_exchange_weak(seen, v)) {
+        }
+      }
+    });
+  }
+  for (auto& p : publishers) {
+    p.join();
+  }
+  const auto snap = store.lookup(key);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version, max_version.load());
+}
+
 // ---------------------------------------------------------------------------
 // Decision cache
 
@@ -315,6 +343,47 @@ TEST(Protocol, MalformedRequestsThrowTypedErrors) {
   EXPECT_THROW(serve::parse_request(R"({"op":"publish","path":""})"), InvalidArgument);
 }
 
+TEST(Protocol, HugeDoublesAreRejectedNotCastToInt) {
+  // 1e300 is finite but unrepresentable in int64: the parser must range-check
+  // in the double domain, never cast first.
+  for (const char* v : {"1e300", "-1e300", "9.3e18", "1e18.5"}) {
+    EXPECT_THROW(serve::parse_request(std::string(R"({"op":"query","collective":"bcast",)") +
+                                      R"("nodes":)" + v + R"(,"ppn":1,"msg":8})"),
+                 acclaim::Error)
+        << v;
+  }
+}
+
+TEST(Protocol, RankProductBeyondCapIsRejected) {
+  // nodes and ppn each sit at their individual caps, so only the joint
+  // kMaxRanks check keeps Scenario::nranks() (int) from overflowing.
+  EXPECT_THROW(serve::parse_request(
+                   R"({"op":"query","collective":"bcast","nodes":4194304,"ppn":65536,"msg":8})"),
+               InvalidArgument);
+  EXPECT_THROW(serve::parse_request(
+                   R"({"op":"publish","path":"m.json","nodes":4194304,"ppn":65536})"),
+               InvalidArgument);
+  // At the cap exactly (2^12 x 2^16 = 2^28 = kMaxRanks) parses fine.
+  const serve::Request req = serve::parse_request(
+      R"({"op":"query","collective":"bcast","nodes":4096,"ppn":65536,"msg":8})");
+  EXPECT_EQ(std::int64_t{req.queries[0].nnodes} * req.queries[0].ppn, serve::kMaxRanks);
+}
+
+TEST(Protocol, PublishRequiresNodesAndPpnTogether) {
+  // One without the other would silently publish under the wildcard scale.
+  EXPECT_THROW(serve::parse_request(R"({"op":"publish","path":"m.json","nodes":4})"),
+               InvalidArgument);
+  EXPECT_THROW(serve::parse_request(R"({"op":"publish","path":"m.json","ppn":8})"),
+               InvalidArgument);
+  const serve::Request both =
+      serve::parse_request(R"({"op":"publish","path":"m.json","nodes":4,"ppn":8})");
+  EXPECT_EQ(both.nodes, 4);
+  EXPECT_EQ(both.ppn, 8);
+  const serve::Request neither = serve::parse_request(R"({"op":"publish","path":"m.json"})");
+  EXPECT_EQ(neither.nodes, 0);
+  EXPECT_EQ(neither.ppn, 0);
+}
+
 TEST(Protocol, RoundTripsWellFormedRequests) {
   const serve::Request req = serve::parse_request(
       R"({"op":"query","collective":"allreduce","nodes":16,"ppn":32,"msg":65536})");
@@ -399,6 +468,21 @@ TEST_F(DaemonTest, StatsReportsCacheCounters) {
   EXPECT_EQ(r.at("models").as_number(), 1.0);
   EXPECT_GE(r.at("cache_hits").as_number(), 1.0);
   EXPECT_GE(r.at("cache_misses").as_number(), 1.0);
+}
+
+TEST_F(DaemonTest, UnixSocketRefusesToClobberARegularFile) {
+  const std::string path = ::testing::TempDir() + "acclaimd_not_a_socket";
+  {
+    std::ofstream f(path);
+    f << "precious data\n";
+  }
+  EXPECT_THROW(daemon_.serve_unix_socket(path), IoError);
+  // The file survives the refused bind.
+  std::ifstream back(path);
+  std::string word;
+  back >> word;
+  EXPECT_EQ(word, "precious");
+  std::remove(path.c_str());
 }
 
 TEST_F(DaemonTest, ServeStreamHandlesLinesUntilShutdown) {

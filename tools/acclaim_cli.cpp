@@ -361,7 +361,7 @@ int cmd_inspect(const cli::Args& args) {
 std::uint64_t publish_model_file(serve::ServeCore& core, const std::string& path, int nodes,
                                  int ppn, const std::string& topology) {
   core::CollectiveModel model = core::CollectiveModel::from_json(util::Json::parse_file(path));
-  const serve::ModelKey key{model.collective(), nodes * ppn, topology};
+  const serve::ModelKey key{model.collective(), serve::checked_comm_size(nodes, ppn), topology};
   const std::uint64_t version = core.publish(key, std::move(model));
   std::cerr << "published " << path << " as " << key.to_string() << " (v" << version << ")\n";
   return version;
