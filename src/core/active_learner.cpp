@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <set>
+#include <utility>
 
 #include "core/feature_space.hpp"
 #include "telemetry/audit.hpp"
@@ -28,6 +30,19 @@ void ActiveLearner::set_monitor(std::function<double(const CollectiveModel&)> pr
   monitor_ = std::move(probe);
 }
 
+void ActiveLearner::set_warm_start(WarmStart warm) {
+  require(warm.model.trained(), "warm start requires a trained model");
+  require(warm.model.collective() == collective_,
+          "warm-start model is for a different collective");
+  require(warm.min_new_points >= 1, "warm start needs min_new_points >= 1");
+  require(warm.patience >= 1, "warm start needs patience >= 1");
+  for (const LabeledPoint& lp : warm.support) {
+    require(lp.point.scenario.collective == collective_,
+            "warm-start support point is for a different collective");
+  }
+  warm_ = std::move(warm);
+}
+
 TrainingResult ActiveLearner::run() {
   telemetry::ScopedTimer timer("learner.run");
   if (config_.threads > 0) {
@@ -42,6 +57,20 @@ TrainingResult ActiveLearner::run() {
 
   TrainingResult result;
   result.model = CollectiveModel(collective_, config_.forest);
+  if (warm_) {
+    // Transfer: start answering (and ranking acquisition candidates) from
+    // the donor job's forest instead of the random seed phase.
+    result.model = warm_->model;
+    result.warm_started = true;
+  }
+  // Convergence floor: a cold run must collect config_.min_points before the
+  // variance criterion may fire; a warm run only needs enough fresh points
+  // to have patched the transferred model's disagreement region.
+  const std::size_t min_points =
+      static_cast<std::size_t>(warm_ ? warm_->min_new_points : config_.min_points);
+  // Same split for the criterion's window: a warm run's variance is already
+  // calm, so it only needs WarmStart::patience confirming checks.
+  const int patience = warm_ ? warm_->patience : config_.patience;
   util::Rng rng(config_.seed);
   const double clock_start_s = env_.clock_s();
 
@@ -59,16 +88,39 @@ TrainingResult ActiveLearner::run() {
   const bool can_parallel = config_.parallel_collection && env_.topology() != nullptr &&
                             env_.allocation() != nullptr;
 
+  // The warm path refits on the fresh measurements plus the transferred
+  // support set, minus any support point a fresh measurement overrides (same
+  // scenario and algorithm): the prior keeps covering the regions this job
+  // never measures, the measurements win wherever the model disagreed enough
+  // with this job's network to get sampled.
+  auto fit_points = [&]() {
+    std::vector<LabeledPoint> data = result.collected;
+    if (warm_) {
+      std::set<std::pair<bench::Scenario, coll::Algorithm>> measured;
+      for (const LabeledPoint& lp : result.collected) {
+        measured.emplace(lp.point.scenario, lp.point.algorithm);
+      }
+      for (const LabeledPoint& lp : warm_->support) {
+        if (!measured.contains({lp.point.scenario, lp.point.algorithm})) {
+          data.push_back(lp);
+        }
+      }
+    }
+    return data;
+  };
+  // A warm run refits from the first fresh point (the support set already
+  // carries enough rows); a cold run waits for the random seed phase.
+  const std::size_t refit_floor =
+      warm_ ? 1u : static_cast<std::size_t>(config_.seed_points);
   static telemetry::Counter& refit_counter = telemetry::metrics().counter("model_refits");
   auto refit = [&](bool force) {
     const bool due = result.collected.size() >= points_at_last_fit +
                                                     static_cast<std::size_t>(config_.refit_every);
-    if (result.collected.size() >= static_cast<std::size_t>(config_.seed_points) &&
-        (force || due)) {
+    if (result.collected.size() >= refit_floor && (force || due)) {
       // A constant seed keeps consecutive refits highly correlated (most
       // bootstrap draws coincide), so the cumulative-variance signal tracks
       // the *data*, not resampling jitter.
-      result.model.fit(result.collected, config_.seed);
+      result.model.fit(fit_points(), config_.seed);
       points_at_last_fit = result.collected.size();
       refit_counter.add();
       if (telemetry::tracer().enabled()) {
@@ -203,9 +255,9 @@ TrainingResult ActiveLearner::run() {
       ema = ema < 0.0 ? rec.cumulative_variance
                       : kEmaAlpha * rec.cumulative_variance + (1.0 - kEmaAlpha) * ema;
       ema_history.push_back(ema);
-      if (ema_history.size() > static_cast<std::size_t>(config_.patience)) {
+      if (ema_history.size() > static_cast<std::size_t>(patience)) {
         const double ref =
-            ema_history[ema_history.size() - 1 - static_cast<std::size_t>(config_.patience)];
+            ema_history[ema_history.size() - 1 - static_cast<std::size_t>(patience)];
         const double delta = std::abs(ema - ref);
         const double tol = config_.variance_abs_tol + config_.variance_rel_tol * std::abs(ref);
         calm_iters = delta < tol ? calm_iters + 1 : 0;
@@ -233,14 +285,12 @@ TrainingResult ActiveLearner::run() {
       ev.fields["variance_ema"] = rec.cumulative_variance_ema;
       ev.fields["batch_size"] = rec.batch_size;
       ev.fields["clock_s"] = rec.clock_s;
-      ev.fields["converged"] = calm_iters >= config_.patience &&
-                               rec.points_collected >=
-                                   static_cast<std::size_t>(config_.min_points);
+      ev.fields["converged"] = calm_iters >= patience &&
+                               rec.points_collected >= min_points;
       telemetry::tracer().record(std::move(ev));
     }
 
-    if (calm_iters >= config_.patience &&
-        result.collected.size() >= static_cast<std::size_t>(config_.min_points)) {
+    if (calm_iters >= patience && result.collected.size() >= min_points) {
       result.converged = true;
       break;
     }

@@ -56,6 +56,28 @@ struct ActiveLearnerConfig {
   std::uint64_t seed = 1;
 };
 
+/// Warm-start transfer input (fleet replay, ROADMAP "fleet-scale trace
+/// replay with warm-start transfer"): a trained model of the same collective
+/// from a previously tuned job, plus the labeled points that trained it.
+/// The learner starts from `model` instead of the random seed phase, keeps
+/// `support` in every refit so the transferred knowledge survives fits on
+/// the few freshly measured points, and lets a fresh measurement *override*
+/// a support point at the same (scenario, algorithm) — active learning
+/// patches the disagreement region instead of retraining from zero.
+struct WarmStart {
+  CollectiveModel model;
+  std::vector<LabeledPoint> support;
+  /// Convergence floor on freshly measured points (replaces
+  /// ActiveLearnerConfig::min_points, which guards the cold-start regime).
+  int min_new_points = 16;
+  /// Convergence window for warm runs (replaces ActiveLearnerConfig::
+  /// patience). A cold run's criterion waits for a from-scratch model to
+  /// stabilize; a warm run only tests that fresh measurements did *not*
+  /// perturb the transferred model, which an already-calm variance shows
+  /// within a couple of checks.
+  int patience = 2;
+};
+
 struct IterationRecord {
   int iteration = 0;
   std::size_t points_collected = 0;
@@ -75,6 +97,7 @@ struct TrainingResult {
   double train_time_s = 0.0;  ///< env clock consumed by this run
   int iterations = 0;
   bool converged = false;
+  bool warm_started = false;  ///< run was seeded from a WarmStart
 };
 
 class ActiveLearner {
@@ -87,6 +110,10 @@ class ActiveLearner {
   /// against a precollected dataset) — never influences training.
   void set_monitor(std::function<double(const CollectiveModel&)> probe);
 
+  /// Seeds the run from a previously trained model (see WarmStart). Throws
+  /// InvalidArgument if the model is untrained or for another collective.
+  void set_warm_start(WarmStart warm);
+
   TrainingResult run();
 
  private:
@@ -96,6 +123,7 @@ class ActiveLearner {
   AcquisitionPolicy& policy_;
   ActiveLearnerConfig config_;
   std::function<double(const CollectiveModel&)> monitor_;
+  std::optional<WarmStart> warm_;
 };
 
 }  // namespace acclaim::core

@@ -12,14 +12,17 @@
 
 namespace acclaim::core {
 
-AcclaimPipeline::AcclaimPipeline(simnet::MachineConfig machine, ActiveLearnerConfig learner)
-    : topo_(std::move(machine)), learner_(learner) {
+AcclaimPipeline::AcclaimPipeline(simnet::MachineConfig machine, ActiveLearnerConfig learner,
+                                 RuleGeneratorConfig rulegen)
+    : topo_(std::move(machine)), learner_(learner), rulegen_(rulegen) {
   // Production runs default to the full ACCLAiM configuration.
   learner_.parallel_collection = true;
   learner_.topology_aware = true;
 }
 
-PipelineResult AcclaimPipeline::run(const JobSpec& spec) const {
+PipelineResult AcclaimPipeline::run(const JobSpec& spec) const { return run(spec, {}); }
+
+PipelineResult AcclaimPipeline::run(const JobSpec& spec, const WarmStartMap& warm) const {
   telemetry::ScopedTimer timer("pipeline.run");
   require(!spec.collectives.empty(), "job must name at least one collective to tune");
   require(spec.nnodes >= 2 && spec.ppn >= 1, "job needs at least 2 nodes and 1 ppn");
@@ -57,6 +60,9 @@ PipelineResult AcclaimPipeline::run(const JobSpec& spec) const {
     ActiveLearnerConfig cfg = learner_;
     cfg.seed = spec.job_seed ^ (static_cast<std::uint64_t>(c) + 0x51ULL);
     ActiveLearner learner(c, space, env, policy, cfg);
+    if (const auto it = warm.find(c); it != warm.end()) {
+      learner.set_warm_start(it->second);
+    }
     telemetry::ScopedTimer coll_timer(coll::collective_name(c));
     telemetry::ScopedPhase phase(std::string("train:") + coll::collective_name(c));
     const double before_s = env.clock_s();
@@ -68,10 +74,12 @@ PipelineResult AcclaimPipeline::run(const JobSpec& spec) const {
     summary.iterations = tr.iterations;
     summary.train_time_s = env.clock_s() - before_s;
     summary.converged = tr.converged;
+    summary.warm_started = tr.warm_started;
     for (const IterationRecord& rec : tr.history) {
       summary.max_batch = std::max(summary.max_batch, rec.batch_size);
     }
     result.training.push_back(summary);
+    result.trained.push_back(TrainedCollective{tr.model, std::move(tr.collected)});
     // The report's phase-timing table runs on the simulated collection
     // clock (the quantity the paper's Fig. 14/15 amortization argument is
     // about), so attach it alongside the wall time ScopedPhase records.
@@ -82,7 +90,7 @@ PipelineResult AcclaimPipeline::run(const JobSpec& spec) const {
     phase.annotate("converged", summary.converged);
     phase.annotate("max_batch", summary.max_batch);
 
-    const RuleGenerator gen;
+    const RuleGenerator gen(rulegen_);
     tables.push_back(gen.generate(tr.model, space));
   }
   result.total_training_s = env.clock_s();

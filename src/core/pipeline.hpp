@@ -8,6 +8,7 @@
 // application run then uses — all transparent to the user.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -41,11 +42,26 @@ struct CollectiveTrainingSummary {
   double train_time_s = 0.0;
   bool converged = false;
   int max_batch = 1;  ///< largest parallel collection batch observed
+  bool warm_started = false;  ///< training was seeded from a WarmStart
 };
+
+/// Final model of one collective plus the points this run actually measured
+/// (warm-start support excluded) — the payload a fleet publishes into the
+/// model store so later jobs can warm-start from it.
+struct TrainedCollective {
+  CollectiveModel model;
+  std::vector<LabeledPoint> points;
+};
+
+/// Per-collective warm-start inputs for a job; may cover any subset of the
+/// job's collectives (uncovered ones train cold).
+using WarmStartMap = std::map<coll::Collective, WarmStart>;
 
 struct PipelineResult {
   util::Json config;  ///< the generated selection rule document
   std::vector<CollectiveTrainingSummary> training;
+  /// Parallel to `training`: the trained models and their fresh points.
+  std::vector<TrainedCollective> trained;
   double total_training_s = 0.0;
   simnet::Allocation allocation;
   std::uint64_t job_seed = 0;
@@ -55,17 +71,24 @@ struct PipelineResult {
 
 class AcclaimPipeline {
  public:
-  explicit AcclaimPipeline(simnet::MachineConfig machine, ActiveLearnerConfig learner = {});
+  explicit AcclaimPipeline(simnet::MachineConfig machine, ActiveLearnerConfig learner = {},
+                           RuleGeneratorConfig rulegen = {});
 
   /// Runs training + config generation for a job. Throws InvalidArgument if
   /// the job does not fit the machine.
   PipelineResult run(const JobSpec& spec) const;
+
+  /// As run(spec), with per-collective warm-start transfer: a collective
+  /// listed in `warm` seeds its ActiveLearner from the donor model and only
+  /// patches the disagreement region (see core::WarmStart).
+  PipelineResult run(const JobSpec& spec, const WarmStartMap& warm) const;
 
   const simnet::Topology& topology() const noexcept { return topo_; }
 
  private:
   simnet::Topology topo_;
   ActiveLearnerConfig learner_;
+  RuleGeneratorConfig rulegen_;
 };
 
 }  // namespace acclaim::core

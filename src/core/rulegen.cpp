@@ -5,6 +5,7 @@
 #include <fstream>
 #include <limits>
 
+#include "core/heuristic.hpp"
 #include "telemetry/audit.hpp"
 #include "telemetry/profiler.hpp"
 #include "util/error.hpp"
@@ -120,6 +121,26 @@ RuleTable RuleGenerator::generate(const CollectiveModel& model, const FeatureSpa
             .count());
     return ex.chosen;
   };
+  // Default guard (see RuleGeneratorConfig): revert a cell to the MPICH
+  // default algorithm when the model's own predictions put the tuned pick
+  // within the confidence margin of it. Queries are serial, so audit-record
+  // order stays thread-count-independent.
+  auto guarded = [&](const bench::Scenario& s, coll::Algorithm tuned) {
+    if (config_.default_guard_margin <= 0.0) {
+      return tuned;
+    }
+    const coll::Algorithm def = mpich_default_selection(s);
+    if (def == tuned) {
+      return tuned;
+    }
+    const double tuned_log = model.predict_log_us({s, tuned});
+    const double def_log = model.predict_log_us({s, def});
+    if (std::exp(def_log - tuned_log) < 1.0 + config_.default_guard_margin) {
+      ++local.default_guards;
+      return def;
+    }
+    return tuned;
+  };
   for (int nnodes : space.nodes()) {
     for (int ppn : space.ppns()) {
       const auto& msgs = space.msgs();
@@ -142,7 +163,8 @@ RuleTable RuleGenerator::generate(const CollectiveModel& model, const FeatureSpa
         grid = model.select_batch(scenarios);
       }
       auto grid_select = [&](std::size_t i) {
-        return grid.empty() ? select_audited(scenario(msgs[i])) : grid[i];
+        return guarded(scenario(msgs[i]),
+                       grid.empty() ? select_audited(scenario(msgs[i])) : grid[i]);
       };
       coll::Algorithm current = grid_select(0);
       for (std::size_t i = 1; i < msgs.size(); ++i) {
@@ -155,7 +177,7 @@ RuleTable RuleGenerator::generate(const CollectiveModel& model, const FeatureSpa
         const std::uint64_t a = msgs[i - 1];
         const std::uint64_t cm = msgs[i];
         const std::uint64_t b = a + (cm - a) / 2;
-        const coll::Algorithm alg_b = select_audited(scenario(b));
+        const coll::Algorithm alg_b = guarded(scenario(b), select_audited(scenario(b)));
         ++local.midpoint_queries;
         rules.push_back({a, current});
         rules.push_back({cm - 1, alg_b});

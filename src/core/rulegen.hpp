@@ -69,14 +69,34 @@ struct RuleGeneratorStats {
   int rules = 0;
   int midpoint_queries = 0;  ///< non-P2 model re-queries (point B of Fig. 9)
   int merges = 0;            ///< rules removed by pruning
+  int default_guards = 0;    ///< cells the default guard reverted (see config)
+};
+
+struct RuleGeneratorConfig {
+  /// When > 0, each grid cell keeps the MPICH default algorithm unless the
+  /// model predicts the tuned pick beats it by more than this fraction
+  /// (predicted default/tuned time ratio must exceed 1 + margin). Sparse
+  /// models trained on noisy measurements suffer the winner's curse on
+  /// near-tie scenarios — the "fastest measured" algorithm regresses to
+  /// slightly worse than a near-optimal default — so fleet-scale tuning
+  /// trades those coin-flip cells for the default and keeps only selections
+  /// the model is confident about. 0 (the default) emits the model's argmin
+  /// unconditionally, the paper's Fig. 9 behavior.
+  double default_guard_margin = 0.0;
 };
 
 class RuleGenerator {
  public:
+  RuleGenerator() = default;
+  explicit RuleGenerator(RuleGeneratorConfig config) : config_(config) {}
+
   /// Generates the rule table for `model`'s collective over the space's
   /// (nodes, ppn, msg) axes.
   RuleTable generate(const CollectiveModel& model, const FeatureSpace& space,
                      RuleGeneratorStats* stats = nullptr) const;
+
+ private:
+  RuleGeneratorConfig config_;
 };
 
 /// Serializes rule tables (one per tuned collective) into the MPICH-style

@@ -1,6 +1,7 @@
 #include "serve/model_store.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <mutex>
 
 #include "util/error.hpp"
@@ -47,12 +48,29 @@ ModelStore::Shard& ModelStore::shard_for(const ModelKey& key) const {
   return shards_[key_hash(key) & (shards_.size() - 1)];
 }
 
-std::uint64_t ModelStore::publish(const ModelKey& key, core::CollectiveModel model) {
+double model_key_distance(const ModelKey& want, const ModelKey& have) {
+  double d = 0.0;
+  if (want.topology != have.topology) {
+    d += 16.0;
+  }
+  if (want.comm_size > 0 && have.comm_size > 0) {
+    d += std::abs(std::log2(static_cast<double>(want.comm_size)) -
+                  std::log2(static_cast<double>(have.comm_size)));
+  } else if (want.comm_size != have.comm_size) {
+    // Exactly one side is the wildcard scale.
+    d += 0.5;
+  }
+  return d;
+}
+
+std::uint64_t ModelStore::publish(const ModelKey& key, core::CollectiveModel model,
+                                  std::shared_ptr<const std::vector<core::LabeledPoint>> support) {
   require(model.trained(), "ModelStore::publish requires a trained model");
   require(model.collective() == key.collective,
           "ModelStore::publish: model collective does not match the key");
   auto snap = std::make_shared<const ModelSnapshot>(ModelSnapshot{
-      key, next_version_.fetch_add(1, std::memory_order_relaxed), std::move(model)});
+      key, next_version_.fetch_add(1, std::memory_order_relaxed), std::move(model),
+      std::move(support)});
   Shard& shard = shard_for(key);
   Entry* entry = nullptr;
   {
@@ -100,6 +118,28 @@ std::shared_ptr<const ModelSnapshot> ModelStore::resolve(const ModelKey& key) co
     return lookup(ModelKey{key.collective, 0, key.topology});
   }
   return nullptr;
+}
+
+NearestMatch ModelStore::nearest(const ModelKey& key, double max_distance) const {
+  // keys() is sorted, so scanning in order and keeping strictly-better
+  // matches breaks distance ties toward the smaller key deterministically.
+  NearestMatch best;
+  for (const ModelKey& cand : keys()) {
+    if (cand.collective != key.collective) {
+      continue;
+    }
+    const double d = model_key_distance(key, cand);
+    if (d > max_distance || (best.snapshot != nullptr && d >= best.distance)) {
+      continue;
+    }
+    // A key can race with a republish between keys() and lookup(); a newer
+    // snapshot under the same key is equally valid as a transfer donor.
+    if (auto snap = lookup(cand)) {
+      best.snapshot = std::move(snap);
+      best.distance = d;
+    }
+  }
+  return best;
 }
 
 std::size_t ModelStore::size() const {

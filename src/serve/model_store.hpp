@@ -54,7 +54,27 @@ struct ModelSnapshot {
   ModelKey key;
   std::uint64_t version = 0;
   core::CollectiveModel model;
+  /// Optional transfer payload: the labeled points behind `model`, shared
+  /// immutable like the snapshot itself. The serving read path never touches
+  /// it; fleet warm-start (core::WarmStart) republishes from it. nullptr
+  /// when the publisher attached none.
+  std::shared_ptr<const std::vector<core::LabeledPoint>> support;
 };
+
+/// Result of ModelStore::nearest: the closest published snapshot of the
+/// wanted collective and its (topology, scale) distance.
+struct NearestMatch {
+  std::shared_ptr<const ModelSnapshot> snapshot;  ///< nullptr: nothing in range
+  double distance = 0.0;
+};
+
+/// The transfer metric of ModelStore::nearest. Same collective only (the
+/// caller filters); |log2 comm_size delta| between two concrete scales, +0.5
+/// for a wildcard (comm_size 0) candidate against a concrete query (a
+/// job-level grid model transfers, but less sharply than a same-scale one),
+/// +16 when the topology signatures differ (cross-machine transfer is a last
+/// resort, only taken when the caller's max_distance allows it).
+double model_key_distance(const ModelKey& want, const ModelKey& have);
 
 class ModelStore {
  public:
@@ -67,8 +87,11 @@ class ModelStore {
   /// for the key. Returns the new snapshot's store-wide version. Under
   /// concurrent publishes to one key the highest version wins — the visible
   /// snapshot's version never moves backwards. Throws InvalidArgument if the
-  /// model is untrained or its collective does not match the key.
-  std::uint64_t publish(const ModelKey& key, core::CollectiveModel model);
+  /// model is untrained or its collective does not match the key. `support`
+  /// optionally attaches the model's training points for warm-start transfer
+  /// (see ModelSnapshot::support).
+  std::uint64_t publish(const ModelKey& key, core::CollectiveModel model,
+                        std::shared_ptr<const std::vector<core::LabeledPoint>> support = nullptr);
 
   /// The current snapshot for `key`, or nullptr if never published.
   std::shared_ptr<const ModelSnapshot> lookup(const ModelKey& key) const;
@@ -76,6 +99,14 @@ class ModelStore {
   /// lookup() with the wildcard-scale fallback: exact (collective,
   /// comm_size, topology) first, then (collective, 0, topology).
   std::shared_ptr<const ModelSnapshot> resolve(const ModelKey& key) const;
+
+  /// The published snapshot of `key.collective` nearest to `key` under
+  /// model_key_distance, or an empty match when none is within
+  /// `max_distance` (inclusive). Ties break toward the smaller ModelKey, so
+  /// the answer is deterministic for a given store content. This is the
+  /// fleet warm-start query: "which previously tuned job looks most like
+  /// mine?" — a full key scan, not a hot serving path.
+  NearestMatch nearest(const ModelKey& key, double max_distance) const;
 
   /// Number of published keys.
   std::size_t size() const;

@@ -77,6 +77,7 @@ RunReport build_report(const std::vector<TraceEvent>& events) {
         }
         break;
       case EventKind::ConvergenceCheck:
+      case EventKind::FleetJob:
         break;
     }
   }

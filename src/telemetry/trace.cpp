@@ -16,6 +16,7 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::ModelRefit: return "model_refit";
     case EventKind::ConvergenceCheck: return "convergence_check";
     case EventKind::Phase: return "phase";
+    case EventKind::FleetJob: return "fleet_job";
   }
   return "?";
 }
@@ -23,7 +24,7 @@ const char* event_kind_name(EventKind kind) {
 std::optional<EventKind> parse_event_kind(const std::string& name) {
   for (EventKind k : {EventKind::TrainingIteration, EventKind::PointAcquired,
                       EventKind::BatchScheduled, EventKind::BenchmarkRun, EventKind::ModelRefit,
-                      EventKind::ConvergenceCheck, EventKind::Phase}) {
+                      EventKind::ConvergenceCheck, EventKind::Phase, EventKind::FleetJob}) {
     if (name == event_kind_name(k)) {
       return k;
     }

@@ -35,6 +35,7 @@ enum class EventKind {
   ModelRefit,         ///< primary model retrained
   ConvergenceCheck,   ///< variance-convergence criterion evaluated
   Phase,              ///< a timed pipeline phase (per-collective training, ...)
+  FleetJob,           ///< one fleet-replay job finished tuning
 };
 
 const char* event_kind_name(EventKind kind);

@@ -107,6 +107,46 @@ std::vector<CollectiveCall> generate_trace(const AppTraceSpec& spec, int scale_n
   return trace;
 }
 
+std::vector<JobArrival> generate_job_stream(const JobStreamSpec& spec) {
+  require(spec.n_jobs >= 1, "job stream needs at least one job");
+  require(spec.mean_interarrival_s > 0.0, "mean inter-arrival must be positive");
+  require(!spec.node_choices.empty(), "job stream needs node choices");
+  require(!spec.ppn_choices.empty(), "job stream needs ppn choices");
+  require(spec.small_app_max_nodes >= 1, "small-app node cap must be at least 1");
+  for (int n : spec.node_choices) {
+    require(n >= 2, "fleet jobs need at least 2 nodes");
+  }
+  for (int p : spec.ppn_choices) {
+    require(p >= 1, "fleet jobs need at least 1 rank per node");
+  }
+
+  const std::vector<AppTraceSpec> apps = llnl_like_apps();
+  // One serial generator draws every field in a fixed order, so the stream
+  // is a pure function of the spec.
+  util::Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + 0xf1ee7ULL);
+
+  std::vector<JobArrival> stream;
+  stream.reserve(static_cast<std::size_t>(spec.n_jobs));
+  double clock_s = 0.0;
+  for (int i = 0; i < spec.n_jobs; ++i) {
+    // Exponential inter-arrival gap (Poisson arrivals); uniform() < 1 keeps
+    // the log argument positive.
+    clock_s += -spec.mean_interarrival_s * std::log(1.0 - rng.uniform());
+    JobArrival job;
+    job.job_id = static_cast<std::uint64_t>(i);
+    job.arrival_s = clock_s;
+    job.app = apps[rng.index(apps.size())];
+    job.nnodes = spec.node_choices[rng.index(spec.node_choices.size())];
+    if (!job.app.has_large_scale_data) {
+      job.nnodes = std::min(job.nnodes, std::max(2, spec.small_app_max_nodes));
+    }
+    job.ppn = spec.ppn_choices[rng.index(spec.ppn_choices.size())];
+    job.job_seed = rng.next_u64() | 1ULL;  // pipeline seeds must be non-zero
+    stream.push_back(job);
+  }
+  return stream;
+}
+
 TraceProfile profile_trace(const std::vector<CollectiveCall>& trace) {
   TraceProfile p;
   p.total_calls = trace.size();

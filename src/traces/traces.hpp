@@ -64,4 +64,36 @@ struct TraceProfile {
 
 TraceProfile profile_trace(const std::vector<CollectiveCall>& trace);
 
+/// One job arriving in a fleet replay: which application it runs, at what
+/// scale, and when it shows up on the machine.
+struct JobArrival {
+  std::uint64_t job_id = 0;
+  double arrival_s = 0.0;  ///< simulated submission time, non-decreasing
+  AppTraceSpec app;
+  int nnodes = 4;
+  int ppn = 2;
+  /// Seed for the job's allocation/network realization and noise streams.
+  std::uint64_t job_seed = 1;
+};
+
+/// Shape of a fleet's job mix. Jobs draw an app from llnl_like_apps(), a
+/// scale from the choice lists, and exponential inter-arrival gaps.
+struct JobStreamSpec {
+  int n_jobs = 100;
+  double mean_interarrival_s = 60.0;
+  std::vector<int> node_choices = {4, 8, 16};
+  std::vector<int> ppn_choices = {2, 4, 8};
+  /// Apps without large-scale trace data (AppTraceSpec::has_large_scale_data
+  /// false, e.g. ParaDis) are capped at this node count, mirroring Fig. 4's
+  /// missing 1024-node trace.
+  int small_app_max_nodes = 8;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a fleet's arrival stream. Deterministic: the same spec yields
+/// the identical stream (a single serial Rng draws every field), which is
+/// what makes fleet replay reproducible end to end. Arrivals come back
+/// sorted by (arrival_s, job_id).
+std::vector<JobArrival> generate_job_stream(const JobStreamSpec& spec);
+
 }  // namespace acclaim::traces

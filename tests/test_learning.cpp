@@ -205,6 +205,56 @@ TEST_F(LearnerTest, ConvergesWellUnderSlowdownCriterion) {
   EXPECT_NEAR(result.train_time_s, result.history.back().clock_s, 1e-9);
 }
 
+TEST_F(LearnerTest, WarmStartConvergesOnFewerFreshPointsWithoutQualityLoss) {
+  // Cold run first: its model and points become the transfer donor.
+  core::DatasetEnvironment cold_env(ds_);
+  core::AcclaimAcquisition cold_policy;
+  core::ActiveLearner cold_learner(Collective::Bcast, space_, cold_env, cold_policy,
+                                   fast_config());
+  const core::TrainingResult cold = cold_learner.run();
+  ASSERT_TRUE(cold.converged);
+  EXPECT_FALSE(cold.warm_started);
+
+  // Warm run on the same environment: the learner starts from the donor and
+  // only has to confirm that fresh measurements agree with it, so it must
+  // converge on far fewer freshly collected points.
+  core::DatasetEnvironment warm_env(ds_);
+  core::AcclaimAcquisition warm_policy;
+  core::ActiveLearner warm_learner(Collective::Bcast, space_, warm_env, warm_policy,
+                                   fast_config());
+  core::WarmStart warm_start{cold.model, cold.collected};
+  warm_learner.set_warm_start(warm_start);
+  const core::TrainingResult warm = warm_learner.run();
+  ASSERT_TRUE(warm.converged);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_GE(warm.collected.size(), static_cast<std::size_t>(warm_start.min_new_points));
+  EXPECT_LT(warm.collected.size(), cold.collected.size() / 2);
+  EXPECT_LT(warm.train_time_s, cold.train_time_s);
+
+  // The transferred knowledge survives the refits on fresh points.
+  const auto test = space_.scenarios(Collective::Bcast);
+  EXPECT_LT(ev_.average_slowdown(test, warm.model), 1.06);
+}
+
+TEST_F(LearnerTest, WarmStartRejectsUntrainedOrMismatchedDonors) {
+  core::DatasetEnvironment env(ds_);
+  core::AcclaimAcquisition policy;
+  core::ActiveLearner learner(Collective::Bcast, space_, env, policy, fast_config());
+  // Untrained donor model.
+  EXPECT_THROW(learner.set_warm_start({core::CollectiveModel(Collective::Bcast), {}}),
+               InvalidArgument);
+  // Donor trained for another collective.
+  core::DatasetEnvironment donor_env(ds_);
+  core::AcclaimAcquisition donor_policy;
+  core::ActiveLearnerConfig donor_cfg = fast_config();
+  donor_cfg.max_points = 30;
+  donor_cfg.patience = 1 << 20;
+  core::ActiveLearner donor_learner(Collective::Reduce, space_, donor_env, donor_policy,
+                                    donor_cfg);
+  const core::TrainingResult donor = donor_learner.run();
+  EXPECT_THROW(learner.set_warm_start({donor.model, donor.collected}), InvalidArgument);
+}
+
 TEST_F(LearnerTest, CollectsNonP2VariantsAtTheConfiguredCadence) {
   core::DatasetEnvironment env(ds_);
   core::AcclaimAcquisition policy;

@@ -203,6 +203,69 @@ TEST(ModelStore, ConcurrentPublishersNeverLeaveAnOlderVersionVisible) {
   EXPECT_EQ(snap->version, max_version.load());
 }
 
+TEST(ModelStore, KeyDistanceMetric) {
+  using coll::Collective;
+  const serve::ModelKey want{Collective::Bcast, 32, "bebop"};
+  EXPECT_DOUBLE_EQ(serve::model_key_distance(want, want), 0.0);
+  // |log2 comm_size| delta between concrete scales.
+  EXPECT_DOUBLE_EQ(serve::model_key_distance(want, {Collective::Bcast, 64, "bebop"}), 1.0);
+  EXPECT_DOUBLE_EQ(serve::model_key_distance(want, {Collective::Bcast, 8, "bebop"}), 2.0);
+  // Wildcard scale transfers, but less sharply than an exact match.
+  EXPECT_DOUBLE_EQ(serve::model_key_distance(want, {Collective::Bcast, 0, "bebop"}), 0.5);
+  // Cross-topology transfer is a last resort.
+  EXPECT_DOUBLE_EQ(serve::model_key_distance(want, {Collective::Bcast, 32, "theta"}), 16.0);
+  EXPECT_DOUBLE_EQ(serve::model_key_distance(want, {Collective::Bcast, 64, "theta"}), 17.0);
+}
+
+TEST(ModelStore, NearestPicksClosestScaleWithDeterministicTies) {
+  serve::ModelStore store;
+  const core::CollectiveModel bcast = trained_model(coll::Collective::Bcast);
+  store.publish({coll::Collective::Bcast, 8, "bebop"}, bcast);
+  store.publish({coll::Collective::Bcast, 32, "bebop"}, bcast);
+  store.publish({coll::Collective::Allgather, 16, "bebop"},
+                trained_model(coll::Collective::Allgather));
+
+  // Only same-collective snapshots are candidates: the exact-scale allgather
+  // model must not shadow the bcast ones.
+  const auto near = store.nearest({coll::Collective::Bcast, 16, "bebop"}, 8.0);
+  ASSERT_NE(near.snapshot, nullptr);
+  EXPECT_EQ(near.snapshot->key.collective, coll::Collective::Bcast);
+  EXPECT_DOUBLE_EQ(near.distance, 1.0);
+  // Both bcast keys are at distance 1; the tie breaks to the smaller key.
+  EXPECT_EQ(near.snapshot->key.comm_size, 8);
+
+  // The cutoff is inclusive and an out-of-range query comes back empty.
+  EXPECT_NE(store.nearest({coll::Collective::Bcast, 16, "bebop"}, 1.0).snapshot, nullptr);
+  EXPECT_EQ(store.nearest({coll::Collective::Bcast, 16, "bebop"}, 0.5).snapshot, nullptr);
+  EXPECT_EQ(store.nearest({coll::Collective::Reduce, 16, "bebop"}, 8.0).snapshot, nullptr);
+}
+
+TEST(ModelStore, PublishWithSupportRoundTripsAndRepublishCanDropIt) {
+  serve::ModelStore store;
+  const serve::ModelKey key{coll::Collective::Bcast, 16, "bebop"};
+  const core::CollectiveModel model = trained_model(coll::Collective::Bcast);
+
+  auto support = std::make_shared<std::vector<core::LabeledPoint>>();
+  support->push_back({bench::BenchmarkPoint{bench::Scenario{coll::Collective::Bcast, 4, 4, 64},
+                                            coll::Algorithm::BcastBinomial},
+                      12.5});
+  const std::uint64_t v1 = store.publish(key, model, support);
+  const auto snap = store.lookup(key);
+  ASSERT_NE(snap, nullptr);
+  ASSERT_NE(snap->support, nullptr);
+  ASSERT_EQ(snap->support->size(), 1u);
+  EXPECT_DOUBLE_EQ((*snap->support)[0].time_us, 12.5);
+
+  // A republish without support replaces the payload along with the model.
+  const std::uint64_t v2 = store.publish(key, model);
+  EXPECT_GT(v2, v1);
+  const auto fresh = store.lookup(key);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->support, nullptr);
+  // The old snapshot held by a reader keeps its payload.
+  EXPECT_NE(snap->support, nullptr);
+}
+
 // ---------------------------------------------------------------------------
 // Decision cache
 

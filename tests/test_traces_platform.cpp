@@ -2,6 +2,7 @@
 // application/break-even model (Fig. 15 substrate).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "platform/app_model.hpp"
@@ -95,6 +96,113 @@ TEST(Traces, ProfileArithmetic) {
   EXPECT_EQ(p.nonp2_calls, 2u);
   EXPECT_DOUBLE_EQ(p.pct_nonp2, 50.0);
   EXPECT_EQ(p.calls_per_collective.at(coll::Collective::Bcast), 2u);
+}
+
+TEST(Traces, ProfileTotalsAreInvariantUnderCallReordering) {
+  // profile_trace aggregates per call, so any permutation of the same calls
+  // must produce identical statistics.
+  util::Rng rng(9);
+  const auto apps = traces::llnl_like_apps();
+  std::vector<traces::CollectiveCall> trace = traces::generate_trace(apps[3], 64, 5000, rng);
+  const auto before = traces::profile_trace(trace);
+
+  std::reverse(trace.begin(), trace.end());
+  const auto reversed = traces::profile_trace(trace);
+  util::Rng shuffle_rng(10);
+  for (std::size_t i = trace.size(); i > 1; --i) {
+    std::swap(trace[i - 1], trace[shuffle_rng.index(i)]);
+  }
+  const auto shuffled = traces::profile_trace(trace);
+
+  for (const auto* p : {&reversed, &shuffled}) {
+    EXPECT_EQ(p->total_calls, before.total_calls);
+    EXPECT_EQ(p->nonp2_calls, before.nonp2_calls);
+    EXPECT_DOUBLE_EQ(p->pct_nonp2, before.pct_nonp2);
+    EXPECT_EQ(p->calls_per_collective, before.calls_per_collective);
+  }
+}
+
+TEST(Traces, MessageSizesAreCountsTimesP2TypeSizes) {
+  // The documented size model: every message is a datatype size (P2 by
+  // construction) times an element count within the spec's log2 range, so a
+  // message is non-P2 exactly when its count is.
+  util::Rng rng(11);
+  for (const auto& app : traces::llnl_like_apps()) {
+    const std::uint64_t min_ts = *std::min_element(app.type_sizes.begin(), app.type_sizes.end());
+    const std::uint64_t max_ts = *std::max_element(app.type_sizes.begin(), app.type_sizes.end());
+    const std::uint64_t lo = min_ts << app.min_count_log2;
+    // Non-P2 counts reach at most 2^(lg+1) - 1 within the top octave.
+    const std::uint64_t hi = (max_ts << (app.max_count_log2 + 1)) - 1;
+    for (const auto& call : traces::generate_trace(app, 128, 4000, rng)) {
+      EXPECT_GE(call.msg_bytes, lo);
+      EXPECT_LE(call.msg_bytes, hi);
+      // Divisible by at least one of the app's datatype sizes.
+      bool divides = false;
+      for (const std::uint64_t ts : app.type_sizes) {
+        divides = divides || call.msg_bytes % ts == 0;
+      }
+      EXPECT_TRUE(divides) << app.name << " produced " << call.msg_bytes << " bytes";
+    }
+  }
+}
+
+TEST(Traces, SameSpecScaleAndSeedYieldsByteIdenticalTraces) {
+  const auto apps = traces::llnl_like_apps();
+  util::Rng rng_a(1234);
+  util::Rng rng_b(1234);
+  const auto a = traces::generate_trace(apps[1], 256, 3000, rng_a);
+  const auto b = traces::generate_trace(apps[1], 256, 3000, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].collective, b[i].collective) << "call " << i;
+    EXPECT_EQ(a[i].msg_bytes, b[i].msg_bytes) << "call " << i;
+  }
+}
+
+TEST(Traces, JobStreamIsDeterministicAndRespectsItsSpec) {
+  traces::JobStreamSpec spec;
+  spec.n_jobs = 200;
+  spec.mean_interarrival_s = 30.0;
+  spec.node_choices = {4, 8, 16};
+  spec.ppn_choices = {2, 4};
+  spec.seed = 77;
+  const auto stream = traces::generate_job_stream(spec);
+  const auto again = traces::generate_job_stream(spec);
+  ASSERT_EQ(stream.size(), 200u);
+  ASSERT_EQ(again.size(), 200u);
+
+  double prev_arrival = 0.0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const traces::JobArrival& job = stream[i];
+    EXPECT_EQ(job.job_id, i);
+    EXPECT_GE(job.arrival_s, prev_arrival);
+    prev_arrival = job.arrival_s;
+    EXPECT_TRUE(std::find(spec.ppn_choices.begin(), spec.ppn_choices.end(), job.ppn) !=
+                spec.ppn_choices.end());
+    if (job.app.has_large_scale_data) {
+      EXPECT_TRUE(std::find(spec.node_choices.begin(), spec.node_choices.end(), job.nnodes) !=
+                  spec.node_choices.end());
+    } else {
+      // Apps without large-scale trace data (ParaDis) are capped.
+      EXPECT_LE(job.nnodes, spec.small_app_max_nodes);
+      EXPECT_GE(job.nnodes, 2);
+    }
+    EXPECT_EQ(job.job_seed % 2, 1u);  // seeds are forced odd (stream-safe)
+
+    // Byte-identical regeneration.
+    EXPECT_EQ(again[i].app.name, job.app.name);
+    EXPECT_DOUBLE_EQ(again[i].arrival_s, job.arrival_s);
+    EXPECT_EQ(again[i].nnodes, job.nnodes);
+    EXPECT_EQ(again[i].ppn, job.ppn);
+    EXPECT_EQ(again[i].job_seed, job.job_seed);
+  }
+
+  traces::JobStreamSpec bad = spec;
+  bad.n_jobs = 0;
+  EXPECT_THROW(traces::generate_job_stream(bad), InvalidArgument);
+  bad = spec;
+  bad.node_choices = {1};
+  EXPECT_THROW(traces::generate_job_stream(bad), InvalidArgument);
 }
 
 // ----------------------------------------------------------------- platform

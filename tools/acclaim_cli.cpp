@@ -29,6 +29,7 @@
 #include "core/heuristic.hpp"
 #include "core/pipeline.hpp"
 #include "core/model.hpp"
+#include "fleet/fleet.hpp"
 #include "platform/app_model.hpp"
 #include "serve/daemon.hpp"
 #include "serve/protocol.hpp"
@@ -266,6 +267,81 @@ int cmd_tune_job(const cli::Args& args) {
   const std::string out = args.get("rules", "acclaim_tuning.json");
   result.config.dump_file(out);
   std::cout << "wrote " << out << "\n";
+  finish_telemetry(args);
+  return 0;
+}
+
+int cmd_fleet(const cli::Args& args) {
+  open_telemetry(args);
+  fleet::FleetConfig config;
+  config.machine = machine_by_name(args.get("machine", "bebop"));
+  config.stream.n_jobs = args.get_int("jobs", 100);
+  config.stream.mean_interarrival_s = std::stod(args.get("mean-interarrival", "45"));
+  config.stream.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  if (args.has("node-choices")) {
+    config.stream.node_choices.clear();
+    for (const std::string& n : cli::split_csv(args.get("node-choices"))) {
+      config.stream.node_choices.push_back(std::stoi(n));
+    }
+  }
+  if (args.has("ppn-choices")) {
+    config.stream.ppn_choices.clear();
+    for (const std::string& p : cli::split_csv(args.get("ppn-choices"))) {
+      config.stream.ppn_choices.push_back(std::stoi(p));
+    }
+  }
+  config.warm_start = args.get("warm", "yes") == "yes";
+  config.max_transfer_distance = std::stod(args.get("max-distance", "8"));
+  config.collectives_per_job = args.get_int("collectives-per-job", 2);
+  config.learner.forest.n_trees = args.get_int("trees", 20);
+  config.learner.max_points = args.get_int("max-points", 90);
+  config.learner.threads = args.get_int("threads", 0);
+
+  serve::ModelStore store;
+  const fleet::FleetResult result = fleet::replay_fleet(config, store);
+
+  util::TablePrinter table({"jobs", "warm", "points", "training", "mean speedup",
+                            "mean breakeven", "makespan", "store keys"});
+  const fleet::FleetTotals& t = result.totals;
+  table.add_row({std::to_string(t.jobs), std::to_string(t.warm_jobs), std::to_string(t.points),
+                 util::format_seconds(t.training_s), util::fixed(t.mean_speedup, 3) + "x",
+                 t.amortizing_jobs > 0 ? util::format_seconds(t.mean_breakeven_s) : "never",
+                 util::format_seconds(t.makespan_s), std::to_string(store.size())});
+  table.print(std::cout);
+  std::cout << "replay fingerprint: " << result.fingerprint << "\n";
+
+  if (args.has("out")) {
+    util::Json doc = util::Json::object();
+    doc["jobs"] = t.jobs;
+    doc["warm_jobs"] = t.warm_jobs;
+    doc["points"] = t.points;
+    doc["training_s"] = t.training_s;
+    doc["mean_speedup"] = t.mean_speedup;
+    doc["mean_breakeven_s"] = t.mean_breakeven_s;
+    doc["amortizing_jobs"] = t.amortizing_jobs;
+    doc["mean_transfer_distance"] = t.mean_transfer_distance;
+    doc["makespan_s"] = t.makespan_s;
+    doc["fingerprint"] = result.fingerprint;
+    util::Json per_job = util::Json::array();
+    for (const fleet::JobOutcome& j : result.jobs) {
+      util::Json row = util::Json::object();
+      row["job_id"] = j.job_id;
+      row["app"] = j.app;
+      row["nnodes"] = j.nnodes;
+      row["ppn"] = j.ppn;
+      row["arrival_s"] = j.arrival_s;
+      row["training_s"] = j.training_s;
+      row["points"] = j.points;
+      row["warm_collectives"] = j.warm_collectives;
+      row["transfer_distance"] = j.transfer_distance;
+      row["speedup"] = j.speedup;
+      row["breakeven_s"] = j.breakeven_s;
+      per_job.as_array().push_back(std::move(row));
+    }
+    doc["jobs_detail"] = std::move(per_job);
+    doc.dump_file(args.get("out"));
+    std::cout << "wrote " << args.get("out") << "\n";
+  }
   finish_telemetry(args);
   return 0;
 }
@@ -518,6 +594,12 @@ commands:
                   --socket PATH | --model FILE
                   --collective C [--nodes N] [--ppn P] [--msg SIZE] [--topology T]
                   [--op query|ping|stats|shutdown|publish] [--path MODEL.json]
+  fleet         replay a job-arrival stream with warm-start model transfer
+                  [--machine bebop] [--jobs N] [--mean-interarrival S] [--seed K]
+                  [--node-choices 4,8,16] [--ppn-choices 2,4,8] [--warm yes|no]
+                  [--max-distance D] [--collectives-per-job K] [--trees N]
+                  [--max-points N] [--out SUMMARY.json] [--threads N]
+                  [--trace-out FILE.jsonl] [--metrics-out FILE.json]
   breakeven     training-cost amortization (Fig. 15)
                   [--training SECONDS] [--speedup S]
 )";
@@ -625,6 +707,14 @@ int main(int argc, char** argv) {
       return cmd_query(cli::Args(argc - 2, argv + 2,
                                  {"socket", "model", "op", "collective", "nodes", "ppn",
                                   "msg", "topology", "path"}));
+    }
+    if (cmd == "fleet") {
+      return cmd_fleet(cli::Args(argc - 2, argv + 2,
+                                 {"machine", "jobs", "mean-interarrival", "seed",
+                                  "node-choices", "ppn-choices", "warm", "max-distance",
+                                  "collectives-per-job", "trees", "max-points", "out",
+                                  "threads", "trace-out", "metrics-out", "chrome-out",
+                                  "audit-out", "profile-out", "prom-out"}));
     }
     if (cmd == "breakeven") {
       return cmd_breakeven(cli::Args(argc - 2, argv + 2, {"training", "speedup"}));
