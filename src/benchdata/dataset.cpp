@@ -1,6 +1,7 @@
 #include "benchdata/dataset.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <filesystem>
 #include <limits>
@@ -114,6 +115,50 @@ void Dataset::save(const std::string& path) const {
   }
 }
 
+namespace {
+
+/// CSV cells are untrusted input (datasets are shipped between machines and
+/// edited by hand): parse with row/column context and an explicit range
+/// instead of letting std::stoi throw a bare std::invalid_argument — or,
+/// worse, silently accept a negative node count.
+long long checked_cell_int(const std::string& cell, const char* column, std::size_t row,
+                           long long lo, long long hi) {
+  long long v = 0;
+  const char* begin = cell.data();
+  const char* end = begin + cell.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr != end || cell.empty()) {
+    throw ParseError("dataset cell '" + cell + "' in column '" + column +
+                         "' is not an integer",
+                     row, 0);
+  }
+  require(v >= lo && v <= hi, "dataset column '" + std::string(column) + "' row " +
+                                  std::to_string(row) + ": " + std::to_string(v) +
+                                  " out of range [" + std::to_string(lo) + ", " +
+                                  std::to_string(hi) + "]");
+  return v;
+}
+
+double checked_cell_double(const std::string& cell, const char* column, std::size_t row) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(cell, &pos);
+  } catch (const std::exception&) {
+    throw ParseError("dataset cell '" + cell + "' in column '" + column +
+                         "' is not a number",
+                     row, 0);
+  }
+  if (pos != cell.size() || !std::isfinite(v) || v < 0.0) {
+    throw ParseError("dataset cell '" + cell + "' in column '" + column +
+                         "' must be a finite non-negative number",
+                     row, 0);
+  }
+  return v;
+}
+
+}  // namespace
+
 Dataset Dataset::load(const std::string& path) {
   const util::CsvTable t = util::read_csv(path);
   const std::size_t c_coll = t.column_index("collective");
@@ -126,19 +171,30 @@ Dataset Dataset::load(const std::string& path) {
   const std::size_t c_iter = t.column_index("iterations");
   const std::size_t c_cost = t.column_index("collect_cost_s");
   Dataset ds;
+  std::size_t rowno = 1;  // header is row 0
   for (const auto& row : t.rows) {
     BenchmarkPoint p;
     p.scenario.collective = coll::parse_collective(row[c_coll]);
     p.algorithm = coll::parse_algorithm(p.scenario.collective, row[c_alg]);
-    p.scenario.nnodes = std::stoi(row[c_nodes]);
-    p.scenario.ppn = std::stoi(row[c_ppn]);
-    p.scenario.msg_bytes = std::stoull(row[c_msg]);
+    // Bounds match the serving layer's caps (serve/protocol.hpp): per-field
+    // limits plus a joint rank cap so nranks() stays int-safe downstream.
+    p.scenario.nnodes = static_cast<int>(
+        checked_cell_int(row[c_nodes], "nnodes", rowno, 1, std::int64_t{1} << 22));
+    p.scenario.ppn = static_cast<int>(
+        checked_cell_int(row[c_ppn], "ppn", rowno, 1, std::int64_t{1} << 16));
+    require(static_cast<std::int64_t>(p.scenario.nnodes) * p.scenario.ppn <=
+                (std::int64_t{1} << 28),
+            "dataset row " + std::to_string(rowno) + ": nnodes x ppn exceeds the rank cap");
+    p.scenario.msg_bytes = static_cast<std::uint64_t>(
+        checked_cell_int(row[c_msg], "msg_bytes", rowno, 1, std::int64_t{1} << 62));
     Measurement m;
-    m.mean_us = std::stod(row[c_mean]);
-    m.stddev_us = std::stod(row[c_std]);
-    m.iterations = std::stoi(row[c_iter]);
-    m.collect_cost_s = std::stod(row[c_cost]);
+    m.mean_us = checked_cell_double(row[c_mean], "mean_us", rowno);
+    m.stddev_us = checked_cell_double(row[c_std], "stddev_us", rowno);
+    m.iterations = static_cast<int>(checked_cell_int(row[c_iter], "iterations", rowno, 0,
+                                                     std::numeric_limits<int>::max()));
+    m.collect_cost_s = checked_cell_double(row[c_cost], "collect_cost_s", rowno);
     ds.add(p, m);
+    ++rowno;
   }
   return ds;
 }

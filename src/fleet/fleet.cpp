@@ -11,6 +11,7 @@
 #include "core/env.hpp"
 #include "core/heuristic.hpp"
 #include "platform/app_model.hpp"
+#include "serve/protocol.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/error.hpp"
@@ -162,7 +163,10 @@ FleetResult replay_fleet(const FleetConfig& config, serve::ModelStore& store) {
     const std::vector<coll::Collective> collectives =
         top_collectives(arrival.app, config.collectives_per_job);
     outcome.total_collectives = static_cast<int>(collectives.size());
-    const int nranks = arrival.nnodes * arrival.ppn;
+    // nnodes/ppn originate from CLI-provided choice lists with no upper
+    // bound, so the product must go through the joint rank cap — a plain
+    // int multiply can overflow.
+    const int nranks = serve::checked_comm_size(arrival.nnodes, arrival.ppn);
 
     core::WarmStartMap warm;
     double distance_sum = 0.0;

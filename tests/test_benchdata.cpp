@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "benchdata/dataset.hpp"
 #include "benchdata/grid.hpp"
@@ -184,6 +185,43 @@ TEST(Dataset, SaveLoadRoundTrip) {
     EXPECT_NEAR(back.at(p).mean_us, ds.at(p).mean_us, 1e-6 * ds.at(p).mean_us);
     EXPECT_EQ(back.at(p).iterations, ds.at(p).iterations);
   }
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, LoadRejectsMalformedAndOutOfRangeCells) {
+  // Regression: numeric CSV cells went straight through std::stoi/std::stod,
+  // so a hand-edited dataset with a garbage cell surfaced as a bare
+  // std::invalid_argument with no row context — and a negative node count
+  // was accepted silently. Every cell now goes through a checked_* parser
+  // with explicit bounds.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "acclaim_ds_bad_cells.csv").string();
+  const auto write = [&](const std::string& row) {
+    std::ofstream out(path, std::ios::trunc);
+    out << "collective,algorithm,nnodes,ppn,msg_bytes,mean_us,stddev_us,"
+           "iterations,collect_cost_s\n"
+        << row;
+  };
+
+  write("bcast,binomial,4,1,64,12.5,0.5,5,0.001\n");
+  EXPECT_NO_THROW(bench::Dataset::load(path));
+
+  write("bcast,binomial,abc,1,64,12.5,0.5,5,0.001\n");
+  EXPECT_THROW(bench::Dataset::load(path), ParseError);
+
+  write("bcast,binomial,-4,1,64,12.5,0.5,5,0.001\n");
+  EXPECT_THROW(bench::Dataset::load(path), InvalidArgument);
+
+  // Per-field limits pass but the joint product exceeds the rank cap.
+  write("bcast,binomial,4194304,65536,64,12.5,0.5,5,0.001\n");
+  EXPECT_THROW(bench::Dataset::load(path), InvalidArgument);
+
+  write("bcast,binomial,4,1,64,not_a_number,0.5,5,0.001\n");
+  EXPECT_THROW(bench::Dataset::load(path), ParseError);
+
+  write("bcast,binomial,4,1,64,-1.0,0.5,5,0.001\n");
+  EXPECT_THROW(bench::Dataset::load(path), ParseError);
+
   std::remove(path.c_str());
 }
 

@@ -158,4 +158,16 @@ TEST(FleetReplay, RejectsInconsistentConfigs) {
   EXPECT_THROW(fleet::replay_fleet(bad_range, store), InvalidArgument);
 }
 
+TEST(FleetReplay, RejectsRankProductsBeyondTheServingCap) {
+  // Regression: nnodes x ppn used to be multiplied as a plain int, so a ppn
+  // choice large enough to push the product past 2^31 overflowed before any
+  // validation saw it (node choices are bounded by the machine, ppn choices
+  // are not). The product now goes through serve::checked_comm_size, which
+  // rejects anything above the joint rank cap in 64-bit arithmetic.
+  serve::ModelStore store;
+  fleet::FleetConfig config = small_fleet();
+  config.stream.ppn_choices = {1 << 29};
+  EXPECT_THROW(fleet::replay_fleet(config, store), InvalidArgument);
+}
+
 }  // namespace

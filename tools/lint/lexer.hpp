@@ -1,0 +1,65 @@
+// acclaim_lint lexical layer: one C++-shaped token stream per file.
+//
+// The lexer is deliberately not a preprocessor or a full C++ front end — it
+// produces exactly what the semantic layer (sema.hpp) and the checks
+// (checks.cpp) need:
+//  * identifiers / numbers / punctuation with line numbers;
+//  * string literals with their *contents* kept (the drift checks compare
+//    metric names against the telemetry registry);
+//  * comments and preprocessor lines stripped, except that
+//      - `// acclaim-lint: allow(<id>, ...)` comments are recorded as
+//        line -> allowed-check-id sets, and
+//      - `#include "..."` targets are recorded for the include graph.
+//
+// An allow comment covers its own line, the line after it, and — once
+// extend_allows_to_statements() has run — every physical line of the
+// statement that starts under it, so one allow above a multi-line
+// parallel_for call suppresses findings anywhere inside the call.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace acclaim::lint {
+
+struct Tok {
+  enum class Kind { Ident, Num, Str, Punct };
+  Kind kind;
+  std::string text;
+  std::size_t line;
+};
+
+/// line -> check ids allowed on that line ("all" allows everything).
+using AllowMap = std::map<std::size_t, std::set<std::string>>;
+
+struct LexedFile {
+  std::vector<Tok> toks;
+  AllowMap allows;
+  /// Statement-extent coverage derived from `allows` by
+  /// extend_allows_to_statements(). Kept separate because it is matched on
+  /// the exact finding line only: comment lines also cover the line below
+  /// them, and folding the extension into `allows` would let a suppression
+  /// bleed one line past its statement onto the next one.
+  AllowMap extended_allows;
+  /// Targets of `#include "..."` directives (quoted form only — angle
+  /// includes are system headers the project checks never need).
+  std::vector<std::string> includes;
+  std::size_t bytes = 0;
+  /// Set once extend_allows_to_statements() has run (it must not re-seed
+  /// extensions from the lines it added itself).
+  bool allows_extended = false;
+};
+
+LexedFile lex(const std::string& src);
+
+/// Extends every allow comment's coverage over the full statement that
+/// starts on the covered line: scanning forward from the first token at or
+/// after the allow line, all lines up to the statement's terminating `;`
+/// (or the close of a brace block opened during the scan) inherit the
+/// allowed ids. Idempotent; called once per file by the analysis layer.
+void extend_allows_to_statements(LexedFile& file);
+
+}  // namespace acclaim::lint

@@ -1,13 +1,16 @@
 #include "lint/lint.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <ostream>
 #include <set>
+#include <sstream>
 
+#include "lint/checks.hpp"
+#include "lint/sema.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace acclaim::lint {
 
@@ -49,740 +52,42 @@ std::vector<CheckInfo> make_registry() {
       {"hyg-float-eq", Severity::Warning,
        "floating-point literal compared with ==/!=; use an epsilon or an exact integer "
        "representation"},
+      {"conc-lock-order", Severity::Error,
+       "two mutexes are acquired in opposite orders at different call sites — a classic "
+       "AB/BA deadlock; pick one global order or use std::scoped_lock"},
+      {"conc-snapshot-escape", Severity::Error,
+       "a raw pointer/reference into a snapshot/lookup temporary outlives the statement "
+       "that produced it; copy the value or keep the owning handle alive"},
+      {"conc-unjoined-thread", Severity::Error,
+       "a std::thread that is neither joined, detached, nor moved before scope exit makes "
+       "its destructor call std::terminate"},
+      {"taint-unchecked-arith", Severity::Error,
+       "a value from an untrusted parse (NDJSON/CLI/env/CSV) reaches arithmetic or an "
+       "allocation size without passing a checked_*/range-validated guard"},
+      {"taint-narrowing-cast", Severity::Error,
+       "a value from an untrusted parse narrows to a smaller integer type without a "
+       "range check"},
+      {"drift-metric-name", Severity::Warning,
+       "metric emission and tools/telemetry_registry.json disagree (emitted-but-"
+       "unregistered, or registered-but-never-emitted)"},
+      {"drift-trace-event", Severity::Warning,
+       "EventKind usage and the trace_events list in tools/telemetry_registry.json "
+       "disagree"},
+      {"drift-dead-config", Severity::Warning,
+       "a field of a *Config/*Spec struct is never read anywhere in the project; wire it "
+       "up or delete it"},
   };
 }
 
-// ---------------------------------------------------------------------------
-// Token scanner
-// ---------------------------------------------------------------------------
-
-struct Tok {
-  enum class Kind { Ident, Num, Str, Punct };
-  Kind kind;
-  std::string text;
-  std::size_t line;
-};
-
-bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
-bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
-
-/// Multi-char operators the checks care about, longest first.
-const char* kPunct2[] = {"::", "->", "++", "--", "+=", "-=", "*=", "/=", "%=",
-                         "&=", "|=", "^=", "==", "!=", "<=", ">=", "&&", "||", "<<"};
-
-struct ScanResult {
-  std::vector<Tok> toks;
-  /// line -> check ids allowed by an `acclaim-lint: allow(...)` comment on
-  /// that line (a comment also covers the line after it).
-  std::map<std::size_t, std::set<std::string>> allows;
-};
-
-void record_allows(ScanResult& out, const std::string& comment, std::size_t line) {
-  const std::string marker = "acclaim-lint:";
-  std::size_t pos = comment.find(marker);
-  if (pos == std::string::npos) {
-    return;
-  }
-  pos = comment.find("allow(", pos);
-  if (pos == std::string::npos) {
-    return;
-  }
-  pos += 6;
-  const std::size_t close = comment.find(')', pos);
-  if (close == std::string::npos) {
-    return;
-  }
-  std::string id;
-  for (std::size_t i = pos; i <= close; ++i) {
-    const char c = i < close ? comment[i] : ',';
-    if (c == ',' || c == ' ') {
-      if (!id.empty()) {
-        out.allows[line].insert(id);
-        id.clear();
-      }
-    } else {
-      id.push_back(c);
-    }
-  }
+std::string companion_path_of(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  return dot == std::string::npos ? "" : path.substr(0, dot);
 }
 
-ScanResult scan(const std::string& src) {
-  ScanResult out;
-  std::size_t i = 0;
-  std::size_t line = 1;
-  bool line_start = true;  // only whitespace seen since the last newline
-  const std::size_t n = src.size();
-
-  auto newline = [&] {
-    ++line;
-    line_start = true;
-  };
-
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      newline();
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    // Preprocessor directive: skip the whole (possibly continued) line so
-    // `#include <unordered_map>` and macro bodies never produce tokens.
-    if (c == '#' && line_start) {
-      while (i < n) {
-        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
-          newline();
-          i += 2;
-          continue;
-        }
-        if (src[i] == '\n') {
-          break;
-        }
-        ++i;
-      }
-      continue;
-    }
-    line_start = false;
-    // Line comment.
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      const std::size_t start = i;
-      while (i < n && src[i] != '\n') {
-        ++i;
-      }
-      record_allows(out, src.substr(start, i - start), line);
-      continue;
-    }
-    // Block comment.
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      const std::size_t start = i;
-      const std::size_t start_line = line;
-      i += 2;
-      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
-        if (src[i] == '\n') {
-          newline();
-        }
-        ++i;
-      }
-      i = std::min(n, i + 2);
-      record_allows(out, src.substr(start, i - start), start_line);
-      continue;
-    }
-    // Raw string literal (the R/uR/u8R/LR/UR ident was just emitted).
-    if (c == '"' && !out.toks.empty() && out.toks.back().kind == Tok::Kind::Ident) {
-      const std::string& prev = out.toks.back().text;
-      if (prev == "R" || prev == "uR" || prev == "u8R" || prev == "LR" || prev == "UR") {
-        out.toks.pop_back();
-        std::size_t j = i + 1;
-        std::string delim;
-        while (j < n && src[j] != '(') {
-          delim.push_back(src[j++]);
-        }
-        const std::string closer = ")" + delim + "\"";
-        const std::size_t end = src.find(closer, j);
-        const std::size_t stop = end == std::string::npos ? n : end + closer.size();
-        for (std::size_t k = i; k < stop; ++k) {
-          if (src[k] == '\n') {
-            newline();
-          }
-        }
-        out.toks.push_back({Tok::Kind::Str, "", line});
-        i = stop;
-        continue;
-      }
-    }
-    // String / char literal.
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      ++i;
-      while (i < n && src[i] != quote) {
-        if (src[i] == '\\' && i + 1 < n) {
-          ++i;
-        }
-        if (src[i] == '\n') {
-          newline();
-        }
-        ++i;
-      }
-      ++i;
-      out.toks.push_back({Tok::Kind::Str, "", line});
-      continue;
-    }
-    // Identifier / keyword.
-    if (ident_start(c)) {
-      const std::size_t start = i;
-      while (i < n && ident_char(src[i])) {
-        ++i;
-      }
-      out.toks.push_back({Tok::Kind::Ident, src.substr(start, i - start), line});
-      continue;
-    }
-    // Number (incl. 1e-9, 0x1f, digit separators).
-    if (std::isdigit(static_cast<unsigned char>(c)) ||
-        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
-      const std::size_t start = i;
-      while (i < n) {
-        const char d = src[i];
-        if (ident_char(d) || d == '.' || d == '\'') {
-          ++i;
-        } else if ((d == '+' || d == '-') && i > start &&
-                   (src[i - 1] == 'e' || src[i - 1] == 'E' || src[i - 1] == 'p' ||
-                    src[i - 1] == 'P')) {
-          ++i;
-        } else {
-          break;
-        }
-      }
-      out.toks.push_back({Tok::Kind::Num, src.substr(start, i - start), line});
-      continue;
-    }
-    // Punctuation, two-char operators first.
-    if (i + 1 < n) {
-      const std::string two = src.substr(i, 2);
-      bool matched = false;
-      for (const char* op : kPunct2) {
-        if (two == op) {
-          out.toks.push_back({Tok::Kind::Punct, two, line});
-          i += 2;
-          matched = true;
-          break;
-        }
-      }
-      if (matched) {
-        continue;
-      }
-    }
-    out.toks.push_back({Tok::Kind::Punct, std::string(1, c), line});
-    ++i;
-  }
-  return out;
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? "" : path.substr(0, slash + 1);
 }
-
-// ---------------------------------------------------------------------------
-// Declaration harvesting (file-global, intentionally scope-free)
-// ---------------------------------------------------------------------------
-
-/// Simplified variable types the checks reason about.
-enum class DeclType { Rng, Unordered, Float, Atomic };
-
-using DeclMap = std::map<std::string, DeclType>;
-
-bool is_unordered_name(const std::string& s) {
-  return s == "unordered_map" || s == "unordered_set" || s == "unordered_multimap" ||
-         s == "unordered_multiset";
-}
-
-/// Advances past a balanced <...> starting at toks[i] == "<"; returns the
-/// index just after the matching ">". Not confused by "<<" (lexed as one
-/// token, which cannot appear inside template arguments in this codebase).
-std::size_t skip_template_args(const std::vector<Tok>& toks, std::size_t i) {
-  int depth = 0;
-  while (i < toks.size()) {
-    const std::string& t = toks[i].text;
-    if (toks[i].kind == Tok::Kind::Punct && t == "<") {
-      ++depth;
-    } else if (toks[i].kind == Tok::Kind::Punct && t == ">") {
-      --depth;
-      if (depth == 0) {
-        return i + 1;
-      }
-    } else if (toks[i].kind == Tok::Kind::Punct && (t == ";" || t == "{")) {
-      return i;  // malformed / not actually a template — bail out
-    }
-    ++i;
-  }
-  return i;
-}
-
-void harvest_decls(const std::vector<Tok>& toks, DeclMap& decls) {
-  for (std::size_t i = 0; i < toks.size(); ++i) {
-    if (toks[i].kind != Tok::Kind::Ident) {
-      continue;
-    }
-    const std::string& t = toks[i].text;
-    const bool member_access =
-        i > 0 && toks[i - 1].kind == Tok::Kind::Punct &&
-        (toks[i - 1].text == "." || toks[i - 1].text == "->");
-    if (member_access) {
-      continue;
-    }
-    DeclType type{};
-    std::size_t j = 0;
-    if (t == "Rng") {
-      type = DeclType::Rng;
-      j = i + 1;
-    } else if (is_unordered_name(t) || t == "atomic") {
-      if (i + 1 >= toks.size() || toks[i + 1].text != "<") {
-        continue;
-      }
-      type = is_unordered_name(t) ? DeclType::Unordered : DeclType::Atomic;
-      j = skip_template_args(toks, i + 1);
-      // An unordered type nested in an outer template (vector<unordered_map<..>>)
-      // still taints the declared variable: close out the outer arguments.
-      while (j < toks.size() && toks[j].kind == Tok::Kind::Punct && toks[j].text == ">") {
-        ++j;
-      }
-    } else if (t == "double" || t == "float") {
-      if (i > 0 && toks[i - 1].kind == Tok::Kind::Punct &&
-          (toks[i - 1].text == "<" || toks[i - 1].text == ",")) {
-        continue;  // template argument, not a declaration
-      }
-      type = DeclType::Float;
-      j = i + 1;
-    } else {
-      continue;
-    }
-    while (j < toks.size() && toks[j].kind == Tok::Kind::Punct &&
-           (toks[j].text == "&" || toks[j].text == "*")) {
-      ++j;
-    }
-    if (j < toks.size() && toks[j].kind == Tok::Kind::Ident && toks[j].text == "const") {
-      ++j;
-    }
-    if (j < toks.size() && toks[j].kind == Tok::Kind::Ident) {
-      decls.emplace(toks[j].text, type);
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Per-file analysis
-// ---------------------------------------------------------------------------
-
-bool has_prefix(const std::string& path, const std::vector<std::string>& prefixes) {
-  return std::any_of(prefixes.begin(), prefixes.end(), [&](const std::string& p) {
-    return path.rfind(p, 0) == 0;
-  });
-}
-
-const std::set<std::string>& rand_idents() {
-  static const std::set<std::string> kSet = {
-      "random_device", "mt19937",      "mt19937_64",     "minstd_rand",
-      "minstd_rand0",  "ranlux24",     "ranlux48",       "knuth_b",
-      "default_random_engine",         "uniform_int_distribution",
-      "uniform_real_distribution",     "normal_distribution",
-      "bernoulli_distribution",        "poisson_distribution",
-      "discrete_distribution",
-  };
-  return kSet;
-}
-
-const std::set<std::string>& rand_calls() {
-  static const std::set<std::string> kSet = {"rand", "srand", "rand_r", "drand48", "lrand48"};
-  return kSet;
-}
-
-const std::set<std::string>& wallclock_idents() {
-  static const std::set<std::string> kSet = {"system_clock", "gettimeofday", "localtime",
-                                             "gmtime", "mktime"};
-  return kSet;
-}
-
-const std::set<std::string>& wallclock_calls() {
-  static const std::set<std::string> kSet = {"time", "clock"};
-  return kSet;
-}
-
-bool is_float_literal(const Tok& t) {
-  if (t.kind != Tok::Kind::Num) {
-    return false;
-  }
-  if (t.text.size() > 1 && t.text[0] == '0' && (t.text[1] == 'x' || t.text[1] == 'X')) {
-    return false;
-  }
-  return t.text.find('.') != std::string::npos || t.text.find('e') != std::string::npos ||
-         t.text.find('E') != std::string::npos;
-}
-
-std::size_t match_paren(const std::vector<Tok>& toks, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < toks.size(); ++i) {
-    if (toks[i].kind != Tok::Kind::Punct) {
-      continue;
-    }
-    if (toks[i].text == "(") {
-      ++depth;
-    } else if (toks[i].text == ")") {
-      if (--depth == 0) {
-        return i;
-      }
-    }
-  }
-  return toks.size();
-}
-
-std::size_t match_brace(const std::vector<Tok>& toks, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < toks.size(); ++i) {
-    if (toks[i].kind != Tok::Kind::Punct) {
-      continue;
-    }
-    if (toks[i].text == "{") {
-      ++depth;
-    } else if (toks[i].text == "}") {
-      if (--depth == 0) {
-        return i;
-      }
-    }
-  }
-  return toks.size();
-}
-
-std::size_t match_bracket(const std::vector<Tok>& toks, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < toks.size(); ++i) {
-    if (toks[i].kind != Tok::Kind::Punct) {
-      continue;
-    }
-    if (toks[i].text == "[") {
-      ++depth;
-    } else if (toks[i].text == "]") {
-      if (--depth == 0) {
-        return i;
-      }
-    }
-  }
-  return toks.size();
-}
-
-struct Analyzer {
-  const std::string& path;
-  const LintOptions& opt;
-  const std::vector<Tok>& toks;
-  const std::map<std::size_t, std::set<std::string>>& allows;
-  DeclMap decls;
-  std::vector<Finding> findings;
-
-  bool suppressed(const std::string& check, std::size_t line) const {
-    for (std::size_t l : {line, line > 0 ? line - 1 : line}) {
-      auto it = allows.find(l);
-      if (it != allows.end() && (it->second.count(check) || it->second.count("all"))) {
-        return true;
-      }
-    }
-    return false;
-  }
-
-  void report(const std::string& check, std::size_t line, const std::string& message) {
-    if (suppressed(check, line)) {
-      return;
-    }
-    findings.push_back({check, check_severity(check), path, line, message});
-  }
-
-  const Tok* prev_tok(std::size_t i) const { return i > 0 ? &toks[i - 1] : nullptr; }
-  const Tok* next_tok(std::size_t i) const {
-    return i + 1 < toks.size() ? &toks[i + 1] : nullptr;
-  }
-
-  bool prev_is_member_or_scope(std::size_t i) const {
-    const Tok* p = prev_tok(i);
-    return p != nullptr && p->kind == Tok::Kind::Punct &&
-           (p->text == "." || p->text == "->" || p->text == "::");
-  }
-
-  bool prev_is_member(std::size_t i) const {
-    const Tok* p = prev_tok(i);
-    return p != nullptr && p->kind == Tok::Kind::Punct && (p->text == "." || p->text == "->");
-  }
-
-  // --- det-rand / det-wallclock ------------------------------------------
-  void check_det_layer_tokens() {
-    if (!has_prefix(path, opt.det_layers)) {
-      return;
-    }
-    for (std::size_t i = 0; i < toks.size(); ++i) {
-      if (toks[i].kind != Tok::Kind::Ident || prev_is_member(i)) {
-        continue;
-      }
-      const std::string& t = toks[i].text;
-      const Tok* nx = next_tok(i);
-      const bool call = nx != nullptr && nx->kind == Tok::Kind::Punct && nx->text == "(";
-      if (rand_idents().count(t) || (call && rand_calls().count(t))) {
-        report("det-rand", toks[i].line,
-               "'" + t + "' in deterministic layer; use util::Rng / Rng::stream");
-      } else if (wallclock_idents().count(t) || (call && wallclock_calls().count(t))) {
-        report("det-wallclock", toks[i].line,
-               "'" + t + "' reads the wall clock in a deterministic layer");
-      }
-    }
-  }
-
-  // --- det-unordered-iter -------------------------------------------------
-  void check_unordered_iteration() {
-    if (!has_prefix(path, opt.ordered_iter_layers)) {
-      return;
-    }
-    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
-      if (toks[i].kind != Tok::Kind::Ident || toks[i].text != "for" ||
-          toks[i + 1].text != "(") {
-        continue;
-      }
-      const std::size_t close = match_paren(toks, i + 1);
-      // Range-for: a ':' at parenthesis depth 1 ("::" lexes as one token).
-      std::size_t colon = 0;
-      int depth = 0;
-      for (std::size_t j = i + 1; j < close; ++j) {
-        if (toks[j].kind != Tok::Kind::Punct) {
-          continue;
-        }
-        if (toks[j].text == "(") {
-          ++depth;
-        } else if (toks[j].text == ")") {
-          --depth;
-        } else if (toks[j].text == ":" && depth == 1) {
-          colon = j;
-          break;
-        }
-      }
-      if (colon == 0) {
-        continue;
-      }
-      for (std::size_t j = colon + 1; j < close; ++j) {
-        if (toks[j].kind != Tok::Kind::Ident) {
-          continue;
-        }
-        auto it = decls.find(toks[j].text);
-        const bool unordered_var =
-            it != decls.end() && it->second == DeclType::Unordered && !prev_is_member(j);
-        if (unordered_var || is_unordered_name(toks[j].text)) {
-          report("det-unordered-iter", toks[j].line,
-                 "range-for over unordered container '" + toks[j].text + "'");
-          break;
-        }
-      }
-    }
-  }
-
-  // --- parallel-region checks --------------------------------------------
-  void check_parallel_regions() {
-    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
-      if (toks[i].kind != Tok::Kind::Ident ||
-          (toks[i].text != "parallel_for" && toks[i].text != "submit") ||
-          toks[i + 1].text != "(") {
-        continue;
-      }
-      const std::size_t call_close = match_paren(toks, i + 1);
-      // Lambdas are the arguments whose '[' directly follows '(' or ','.
-      for (std::size_t j = i + 2; j < call_close; ++j) {
-        if (toks[j].kind == Tok::Kind::Punct && toks[j].text == "[" &&
-            toks[j - 1].kind == Tok::Kind::Punct &&
-            (toks[j - 1].text == "(" || toks[j - 1].text == ",")) {
-          analyze_lambda(j, call_close);
-        }
-      }
-    }
-  }
-
-  void analyze_lambda(std::size_t capture_open, std::size_t limit) {
-    const std::size_t capture_close = match_bracket(toks, capture_open);
-    if (capture_close >= limit) {
-      return;
-    }
-    bool default_ref = false;
-    std::set<std::string> ref_captures;
-    std::set<std::string> locals;
-    for (std::size_t j = capture_open + 1; j < capture_close; ++j) {
-      if (toks[j].kind == Tok::Kind::Punct && toks[j].text == "&") {
-        const Tok* nx = next_tok(j);
-        if (nx != nullptr && nx->kind == Tok::Kind::Ident) {
-          ref_captures.insert(nx->text);
-        } else {
-          default_ref = true;
-        }
-      } else if (toks[j].kind == Tok::Kind::Punct && toks[j].text == "=") {
-        // by-value default; init-captures (x = expr) also land here, fine
-      }
-    }
-    // Parameters: idents directly before ',' or ')' inside the param list.
-    std::size_t k = capture_close + 1;
-    if (k < toks.size() && toks[k].text == "(") {
-      const std::size_t param_close = match_paren(toks, k);
-      for (std::size_t j = k + 1; j < param_close; ++j) {
-        if (toks[j].kind == Tok::Kind::Ident && j + 1 <= param_close &&
-            toks[j + 1].kind == Tok::Kind::Punct &&
-            (toks[j + 1].text == "," || toks[j + 1].text == ")")) {
-          locals.insert(toks[j].text);
-        }
-      }
-      k = param_close + 1;
-    }
-    while (k < toks.size() && toks[k].text != "{") {
-      ++k;  // skip mutable / noexcept / -> return-type
-    }
-    if (k >= toks.size()) {
-      return;
-    }
-    const std::size_t body_open = k;
-    const std::size_t body_close = match_brace(toks, body_open);
-
-    // Pass 1: locals declared in the body (type-ish token, then the name,
-    // then an initializer/terminator).
-    for (std::size_t j = body_open + 1; j < body_close; ++j) {
-      if (toks[j].kind != Tok::Kind::Ident || j == 0) {
-        continue;
-      }
-      const Tok& p = toks[j - 1];
-      const bool typeish =
-          p.kind == Tok::Kind::Ident ||
-          (p.kind == Tok::Kind::Punct && (p.text == ">" || p.text == "&" || p.text == "*"));
-      if (!typeish || (p.kind == Tok::Kind::Ident && j >= 2 && prev_is_member(j - 1))) {
-        continue;
-      }
-      const Tok* nx = next_tok(j);
-      if (nx != nullptr &&
-          (nx->text == "=" || nx->text == ";" || nx->text == "," || nx->text == ":" ||
-           nx->text == "(" || nx->text == "{")) {
-        locals.insert(toks[j].text);
-      }
-    }
-
-    // Pass 1b: audit emission inside a parallel region. The flight
-    // recorder's log must be bitwise-identical across thread counts, which
-    // holds only if every record is emitted from the serial decision path —
-    // records written from worker lambdas interleave by scheduling order.
-    for (std::size_t j = body_open + 1; j < body_close; ++j) {
-      if (toks[j].kind != Tok::Kind::Ident) {
-        continue;
-      }
-      const std::string& t = toks[j].text;
-      const Tok* nx = next_tok(j);
-      const bool audit_call =
-          t == "audit" && nx != nullptr && nx->kind == Tok::Kind::Punct && nx->text == "(";
-      if (audit_call || t == "AuditLog" || t == "DecisionRecord" ||
-          t == "observe_decision_cost") {
-        report("det-audit-order", toks[j].line,
-               "'" + t + "' emits audit records inside a parallel region");
-        break;  // one finding per lambda pinpoints the region
-      }
-    }
-
-    // Pass 2: shared writes and by-ref Rng use.
-    for (std::size_t j = body_open + 1; j < body_close; ++j) {
-      if (toks[j].kind != Tok::Kind::Ident || locals.count(toks[j].text) ||
-          prev_is_member_or_scope(j)) {
-        continue;
-      }
-      const std::string& name = toks[j].text;
-      const auto decl = decls.find(name);
-      const Tok* nx = next_tok(j);
-
-      const bool captured_by_ref = default_ref || ref_captures.count(name) > 0;
-      if (captured_by_ref && decl != decls.end() && decl->second == DeclType::Rng &&
-          nx != nullptr && nx->kind == Tok::Kind::Punct && nx->text == ".") {
-        report("det-rng-ref-capture", toks[j].line,
-               "Rng '" + name +
-                   "' is used through a by-reference capture inside a parallel region");
-        continue;
-      }
-
-      if (decl != decls.end() && decl->second == DeclType::Atomic) {
-        continue;
-      }
-      const bool pre_incdec = j > 0 && toks[j - 1].kind == Tok::Kind::Punct &&
-                              (toks[j - 1].text == "++" || toks[j - 1].text == "--");
-      std::string op;
-      if (nx != nullptr && nx->kind == Tok::Kind::Punct) {
-        static const std::set<std::string> kWriteOps = {"=",  "+=", "-=", "*=",
-                                                        "/=", "++", "--"};
-        if (kWriteOps.count(nx->text)) {
-          op = nx->text;
-        }
-      }
-      if (op.empty() && pre_incdec) {
-        op = toks[j - 1].text;
-      }
-      if (op.empty()) {
-        continue;
-      }
-      // `=` directly after a type-ish token is a declaration, not a write;
-      // pass 1 catches most, but catch `auto x = ...` patterns it classified
-      // as locals already — anything left here is a genuine shared write.
-      if (op == "+=" || op == "-=") {
-        if (decl != decls.end() && decl->second == DeclType::Float) {
-          report("par-float-reduction", toks[j].line,
-                 "'" + name + " " + op + "' reduces a float inside a parallel region");
-          continue;
-        }
-      }
-      report("par-shared-write", toks[j].line,
-             "'" + name + " " + op + "' writes shared state inside a parallel region");
-    }
-  }
-
-  // --- hygiene ------------------------------------------------------------
-  void check_catch_blocks() {
-    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
-      if (toks[i].kind != Tok::Kind::Ident || toks[i].text != "catch" ||
-          toks[i + 1].text != "(") {
-        continue;
-      }
-      std::size_t k = match_paren(toks, i + 1) + 1;
-      if (k >= toks.size() || toks[k].text != "{") {
-        continue;
-      }
-      const std::size_t close = match_brace(toks, k);
-      bool handled = false;
-      for (std::size_t j = k + 1; j < close; ++j) {
-        if (toks[j].kind != Tok::Kind::Ident) {
-          continue;
-        }
-        const std::string& t = toks[j].text;
-        // gtest assertions count as handling: a test catch that asserts on
-        // the exception is observing it, not swallowing it.
-        if (t.rfind("AC_LOG_", 0) == 0 || t.rfind("EXPECT_", 0) == 0 ||
-            t.rfind("ASSERT_", 0) == 0 || t == "FAIL" || t == "SUCCEED" ||
-            t == "ADD_FAILURE" || t == "throw" || t == "return" ||
-            t == "rethrow_exception" || t == "terminate" || t == "abort") {
-          handled = true;
-          break;
-        }
-      }
-      if (!handled) {
-        report("hyg-catch-log", toks[i].line,
-               "catch block swallows the exception (no AC_LOG_*, throw, or return)");
-      }
-    }
-  }
-
-  void check_naked_new() {
-    for (std::size_t i = 0; i < toks.size(); ++i) {
-      if (toks[i].kind == Tok::Kind::Ident && toks[i].text == "new" &&
-          !prev_is_member_or_scope(i)) {
-        report("hyg-naked-new", toks[i].line, "naked new expression");
-      }
-    }
-  }
-
-  void check_float_eq() {
-    for (std::size_t i = 0; i < toks.size(); ++i) {
-      if (toks[i].kind != Tok::Kind::Punct ||
-          (toks[i].text != "==" && toks[i].text != "!=")) {
-        continue;
-      }
-      const Tok* p = prev_tok(i);
-      const Tok* nx = next_tok(i);
-      if ((p != nullptr && is_float_literal(*p)) || (nx != nullptr && is_float_literal(*nx))) {
-        report("hyg-float-eq", toks[i].line,
-               "'" + toks[i].text + "' compares against a floating-point literal");
-      }
-    }
-  }
-
-  void run() {
-    check_det_layer_tokens();
-    check_unordered_iteration();
-    check_parallel_regions();
-    check_catch_blocks();
-    check_naked_new();
-    check_float_eq();
-    std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
-      return std::tie(a.line, a.check) < std::tie(b.line, b.check);
-    });
-  }
-};
 
 }  // namespace
 
@@ -812,17 +117,131 @@ std::vector<std::string> default_det_layers() {
   return {"src/core/", "src/ml/", "src/simnet/", "src/benchdata/", "src/collectives/"};
 }
 
+std::vector<std::string> default_taint_layers() {
+  return {"src/serve/", "src/fleet/", "src/traces/", "src/benchdata/", "tools/", "bench/"};
+}
+
 std::vector<Finding> lint_source(const std::string& path, const std::string& content,
                                  const LintOptions& opt) {
-  ScanResult scanned = scan(content);
-  Analyzer az{path, opt, scanned.toks, scanned.allows, {}, {}};
+  FileIndex idx = build_file_index(path, content);
+  DeclMap merged;
   if (!opt.companion_header.empty()) {
-    ScanResult header = scan(opt.companion_header);
-    harvest_decls(header.toks, az.decls);
+    LexedFile header = lex(opt.companion_header);
+    harvest_decls(header.toks, merged);
   }
-  harvest_decls(scanned.toks, az.decls);
-  az.run();
-  return az.findings;
+  for (const auto& [name, sym] : idx.decls) {
+    merged.emplace(name, sym);
+  }
+  const std::vector<const FileIndex*> just_this = {&idx};
+  const std::set<std::string> tainted = collect_tainted_fields(just_this, opt);
+  std::vector<Finding> findings = run_file_checks(idx, opt, merged, tainted);
+  std::vector<Finding> project = run_project_checks(just_this, opt);
+  findings.insert(findings.end(), project.begin(), project.end());
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.check, a.message) <
+           std::tie(b.file, b.line, b.check, b.message);
+  });
+  return findings;
+}
+
+ProjectReport lint_files(const std::vector<SourceFile>& files, const LintOptions& opt,
+                         int threads) {
+  // Deterministic order + one index per distinct path, whatever the caller
+  // passed: headers reached through several includers are indexed once.
+  std::vector<const SourceFile*> unique;
+  {
+    std::set<std::string> seen;
+    for (const SourceFile& f : files) {
+      if (seen.insert(f.path).second) {
+        unique.push_back(&f);
+      }
+    }
+    std::sort(unique.begin(), unique.end(),
+              [](const SourceFile* a, const SourceFile* b) { return a->path < b->path; });
+  }
+
+  std::vector<FileIndex> indices(unique.size());
+  util::ThreadPool pool(threads);
+  pool.parallel_for(std::size_t{0}, unique.size(), [&](std::size_t i) {
+    indices[i] = build_file_index(unique[i]->path, unique[i]->content);
+  });
+
+  std::map<std::string, const FileIndex*> by_path;
+  for (const FileIndex& idx : indices) {
+    by_path.emplace(idx.path, &idx);
+  }
+  // Merged per-file declaration tables. Precedence mirrors the single-file
+  // API: companion header first, then the file's quoted includes (resolved
+  // against the scanned set), then the file itself; first declaration wins.
+  auto resolve_include = [&](const std::string& from, const std::string& inc)
+      -> const FileIndex* {
+    for (const std::string& cand :
+         {inc, "src/" + inc, "tools/" + inc, dirname_of(from) + inc, "bench/" + inc,
+          "tests/" + inc}) {
+      const auto it = by_path.find(cand);
+      if (it != by_path.end()) {
+        return it->second;
+      }
+    }
+    return nullptr;
+  };
+  std::vector<DeclMap> merged(indices.size());
+  pool.parallel_for(std::size_t{0}, indices.size(), [&](std::size_t i) {
+    const FileIndex& idx = indices[i];
+    DeclMap& out = merged[i];
+    const std::string stem = companion_path_of(idx.path);
+    if (!stem.empty()) {
+      for (const char* ext : {".hpp", ".h"}) {
+        const auto it = by_path.find(stem + ext);
+        if (it != by_path.end() && it->second != &idx) {
+          for (const auto& [name, sym] : it->second->decls) {
+            out.emplace(name, sym);
+          }
+          break;
+        }
+      }
+    }
+    for (const std::string& inc : idx.lex.includes) {
+      const FileIndex* dep = resolve_include(idx.path, inc);
+      if (dep != nullptr && dep != &idx) {
+        for (const auto& [name, sym] : dep->decls) {
+          out.emplace(name, sym);
+        }
+      }
+    }
+    for (const auto& [name, sym] : idx.decls) {
+      out.emplace(name, sym);
+    }
+  });
+
+  std::vector<const FileIndex*> all;
+  all.reserve(indices.size());
+  for (const FileIndex& idx : indices) {
+    all.push_back(&idx);
+  }
+  const std::set<std::string> tainted = collect_tainted_fields(all, opt);
+
+  std::vector<std::vector<Finding>> slots(indices.size());
+  pool.parallel_for(std::size_t{0}, indices.size(), [&](std::size_t i) {
+    slots[i] = run_file_checks(indices[i], opt, merged[i], tainted);
+  });
+
+  ProjectReport report;
+  report.files = indices.size();
+  for (const FileIndex& idx : indices) {
+    report.tokens += idx.lex.toks.size();
+  }
+  for (std::vector<Finding>& slot : slots) {
+    report.findings.insert(report.findings.end(), slot.begin(), slot.end());
+  }
+  std::vector<Finding> project = run_project_checks(all, opt);
+  report.findings.insert(report.findings.end(), project.begin(), project.end());
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.check, a.message) <
+                     std::tie(b.file, b.line, b.check, b.message);
+            });
+  return report;
 }
 
 // ---------------------------------------------------------------------------
@@ -916,6 +335,9 @@ util::Json finding_json(const Finding& f) {
   e["file"] = f.file;
   e["line"] = static_cast<long long>(f.line);
   e["message"] = f.message;
+  if (!f.hint.empty()) {
+    e["hint"] = f.hint;
+  }
   return e;
 }
 
@@ -948,12 +370,17 @@ util::Json report_json(const GateResult& gate, std::size_t files_scanned) {
   return doc;
 }
 
-void render_report(std::ostream& os, const GateResult& gate, std::size_t files_scanned) {
+void render_report(std::ostream& os, const GateResult& gate, std::size_t files_scanned,
+                   double wall_s) {
   if (!gate.fresh.empty()) {
     util::TablePrinter table({"severity", "check", "location", "message"});
     for (const Finding& f : gate.fresh) {
+      std::string msg = f.message;
+      if (!f.hint.empty()) {
+        msg += " [fix: " + f.hint + "]";
+      }
       table.add_row({severity_name(f.severity), f.check,
-                     f.file + ":" + std::to_string(f.line), f.message});
+                     f.file + ":" + std::to_string(f.line), msg});
     }
     table.print(os);
   }
@@ -965,7 +392,15 @@ void render_report(std::ostream& os, const GateResult& gate, std::size_t files_s
      << gate.fresh.size() - errors << " warning(s)), " << gate.baselined.size()
      << " baselined, " << gate.stale.size() << " stale baseline entr"
      << (gate.stale.size() == 1 ? "y" : "ies") << ", " << files_scanned
-     << " file(s) scanned\n";
+     << " file(s) scanned";
+  if (wall_s >= 0.0) {
+    std::ostringstream wall;
+    wall.setf(std::ios::fixed);
+    wall.precision(3);
+    wall << wall_s;
+    os << " in " << wall.str() << "s";
+  }
+  os << "\n";
   for (const GateResult::Stale& s : gate.stale) {
     os << "acclaim-lint: stale baseline entry " << s.check << " @ " << s.file << " (allows "
        << s.allowed << ", found " << s.actual

@@ -16,6 +16,18 @@
 //   hyg-naked-new       no naked new
 //   hyg-float-eq        no ==/!= against floating-point literals
 //
+// v2 adds a semantic layer (lexer.hpp + sema.hpp: scoped token tree, symbol
+// tables, include graph) and three flow-aware check families:
+//
+//   conc-lock-order       inconsistent mutex acquisition order across sites
+//   conc-snapshot-escape  raw pointer/ref into a snapshot temporary
+//   conc-unjoined-thread  std::thread neither joined, detached, nor moved
+//   taint-unchecked-arith untrusted parse reaches arithmetic / alloc size
+//   taint-narrowing-cast  untrusted parse narrows without a range check
+//   drift-metric-name     metric names out of sync with the telemetry registry
+//   drift-trace-event     EventKind uses out of sync with the registry
+//   drift-dead-config     config struct fields never read anywhere
+//
 // The scanner is token-level (comments/strings/preprocessor lines are lexed
 // away, so rule names inside string literals never fire) with lightweight
 // declaration tracking — enough to tell `rngs[i]` (a pre-derived per-item
@@ -23,7 +35,8 @@
 // boundary, a determinism bug). It is deliberately not a full C++ front end:
 // findings err toward silence, and intentional exceptions carry an inline
 //     // acclaim-lint: allow(<check-id>)  <reason>
-// suppression on the same or preceding line. Remaining debt lives in a
+// suppression on the same or preceding line (an allow above a multi-line
+// statement covers the statement's full extent). Remaining debt lives in a
 // baseline file (tools/lint_baseline.json) that only ratchets down.
 #pragma once
 
@@ -63,10 +76,17 @@ struct Finding {
   std::string file;
   std::size_t line = 0;
   std::string message;
+  /// Optional fix-it guidance ("use std::scoped_lock(a, b)"); shown in the
+  /// table/json/SARIF reports when non-empty.
+  std::string hint;
 };
 
 /// src/core, src/ml, src/simnet, src/benchdata, src/collectives.
 std::vector<std::string> default_det_layers();
+
+/// Layers whose values cross a trust boundary (NDJSON, CLI argv, env, CSV):
+/// src/serve, src/fleet, src/traces, src/benchdata, tools, bench.
+std::vector<std::string> default_taint_layers();
 
 struct LintOptions {
   /// Repo-relative path prefixes whose files must be free of wall-clock and
@@ -76,16 +96,49 @@ struct LintOptions {
   /// CLI code feeds ordered output (rule files, tables, accumulators); test
   /// fixtures may iterate scratch maps freely.
   std::vector<std::string> ordered_iter_layers = {"src/", "tools/"};
+  /// Prefixes where the taint-lite checks run: values produced by raw
+  /// parses (stoi/atoi/strtol/parse_bytes/getenv) must pass through a
+  /// checked_*/range-validated function before arithmetic, narrowing casts,
+  /// or allocation sizes. Test sources are always exempt.
+  std::vector<std::string> taint_layers = default_taint_layers();
   /// Declarations harvested from a companion header (the CLI passes x.hpp's
   /// content when linting x.cpp, so members declared in the header — e.g. an
   /// unordered_map field iterated in the .cpp — are typed correctly).
   std::string companion_header;
+  /// Telemetry registry document (metrics + trace event names). Null
+  /// disables drift-metric-name / drift-trace-event; the CLI loads it from
+  /// tools/telemetry_registry.json.
+  util::Json telemetry_registry;
+  /// Path registry-side drift findings (unused entries) are attributed to.
+  std::string registry_path = "tools/telemetry_registry.json";
 };
 
 /// Lints one translation unit. `path` is the repo-relative path (used for
 /// layer scoping and reporting); `content` is the file text.
 std::vector<Finding> lint_source(const std::string& path, const std::string& content,
                                  const LintOptions& opt = {});
+
+/// One in-memory source for a project scan.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// Result of a whole-project scan.
+struct ProjectReport {
+  std::vector<Finding> findings;  ///< sorted by (file, line, check, message)
+  std::size_t files = 0;
+  std::size_t tokens = 0;
+};
+
+/// Lints a set of files as one project: every file is lexed and indexed
+/// exactly once (headers are shared between their includers through the
+/// include graph rather than re-tokenized), per-file passes run in parallel
+/// over `threads` lanes with deterministic finding order, and the
+/// project-wide passes (lock-order pairing, taint field propagation, drift)
+/// see the whole file set.
+ProjectReport lint_files(const std::vector<SourceFile>& files, const LintOptions& opt = {},
+                         int threads = 1);
 
 /// Known-debt ratchet: per (check, file) allowed finding counts.
 class Baseline {
@@ -132,6 +185,8 @@ Baseline baseline_from_findings(const std::vector<Finding>& findings);
 util::Json report_json(const GateResult& gate, std::size_t files_scanned);
 
 /// Human-readable report: a util::TablePrinter table plus a summary line.
-void render_report(std::ostream& os, const GateResult& gate, std::size_t files_scanned);
+/// `wall_s` >= 0 appends the scan wall time to the summary.
+void render_report(std::ostream& os, const GateResult& gate, std::size_t files_scanned,
+                   double wall_s = -1.0);
 
 }  // namespace acclaim::lint

@@ -2,28 +2,41 @@
 // correctness rule violations (see lint.hpp for the check catalogue).
 //
 // usage: acclaim_lint [--root DIR] [--baseline FILE] [--write-baseline]
-//                     [--json] [--list-checks] [paths...]
+//                     [--baseline-shrink] [--json] [--sarif FILE]
+//                     [--threads N] [--list-checks] [paths...]
 //
 //   --root DIR        repo root all paths are resolved against (default: .)
 //   --baseline FILE   known-debt ratchet file (default: tools/lint_baseline.json
 //                     under the root when it exists)
 //   --write-baseline  rewrite the baseline to exactly cover today's findings
+//   --baseline-shrink ratchet: rewrite the baseline down to today's counts
+//                     (only ever shrinks — fresh findings still fail the gate)
 //   --json            machine-readable report on stdout instead of a table
+//   --sarif FILE      also write a SARIF 2.1.0 report (for code scanning)
+//   --threads N       scan concurrency (default: hardware concurrency)
 //   --list-checks     print the check catalogue and exit
 //   paths             files or directories relative to the root
-//                     (default: src tools tests)
+//                     (default: src tools tests bench)
 //
 // Exit codes: 0 clean (baselined debt and stale entries do not fail),
 // 1 findings above the baseline, 2 usage or I/O error.
+//
+// Every file is read and tokenized exactly once per scan: headers shared by
+// many .cpp files enter the project index a single time and their symbol
+// tables are merged into each includer through the include graph.
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "lint/lint.hpp"
+#include "lint/sarif.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
 
@@ -74,23 +87,6 @@ std::string read_file(const fs::path& p) {
   return ss.str();
 }
 
-/// Content of x.hpp / x.h next to x.cpp, so member declarations are visible
-/// when linting the implementation file; empty when there is none.
-std::string companion_header_content(const fs::path& root, const std::string& rel) {
-  const fs::path p = root / rel;
-  if (p.extension() != ".cpp" && p.extension() != ".cc" && p.extension() != ".cxx") {
-    return {};
-  }
-  for (const char* ext : {".hpp", ".h"}) {
-    fs::path header = p;
-    header.replace_extension(ext);
-    if (fs::is_regular_file(header)) {
-      return read_file(header);
-    }
-  }
-  return {};
-}
-
 void list_checks(std::ostream& os) {
   util::TablePrinter table({"id", "severity", "rule"});
   for (const lint::CheckInfo& c : lint::all_checks()) {
@@ -99,11 +95,33 @@ void list_checks(std::ostream& os) {
   table.print(os);
 }
 
+/// `::warning` workflow commands surface stale-baseline debt directly in the
+/// GitHub Actions run annotations; a plain stderr note elsewhere.
+void warn_stale(const lint::GateResult& gate) {
+  if (gate.stale.empty()) {
+    return;
+  }
+  const bool actions = std::getenv("GITHUB_ACTIONS") != nullptr;
+  for (const lint::GateResult::Stale& s : gate.stale) {
+    if (actions) {
+      std::cout << "::warning file=" << s.file << "::stale lint baseline entry " << s.check
+                << " allows " << s.allowed << " but only " << s.actual
+                << " remain; run acclaim_lint --baseline-shrink\n";
+    } else {
+      std::cerr << "acclaim-lint: baseline is stale (" << s.check << " @ " << s.file
+                << "); run --baseline-shrink to ratchet it down\n";
+    }
+  }
+}
+
 int run(int argc, char** argv) {
   std::string root = ".";
   std::string baseline_path;
+  std::string sarif_path;
   bool write_baseline = false;
+  bool baseline_shrink = false;
   bool json = false;
+  int threads = static_cast<int>(std::thread::hardware_concurrency());
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -120,8 +138,14 @@ int run(int argc, char** argv) {
       baseline_path = next("--baseline");
     } else if (arg == "--write-baseline") {
       write_baseline = true;
+    } else if (arg == "--baseline-shrink") {
+      baseline_shrink = true;
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      sarif_path = next("--sarif");
+    } else if (arg == "--threads") {
+      threads = std::stoi(next("--threads"));
     } else if (arg == "--list-checks") {
       list_checks(std::cout);
       return 0;
@@ -132,7 +156,7 @@ int run(int argc, char** argv) {
     }
   }
   if (paths.empty()) {
-    paths = {"src", "tools", "tests"};
+    paths = {"src", "tools", "tests", "bench"};
   }
   const fs::path root_path(root);
   if (baseline_path.empty()) {
@@ -142,41 +166,77 @@ int run(int argc, char** argv) {
     }
   }
 
-  std::vector<std::string> files;
+  std::vector<std::string> rels;
   for (const std::string& p : paths) {
-    collect_files(root_path, p, files);
+    if (!fs::exists(root_path / p) && (p == "bench" || p == "tests")) {
+      continue;  // optional default trees
+    }
+    collect_files(root_path, p, rels);
   }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
+  std::sort(rels.begin(), rels.end());
+  rels.erase(std::unique(rels.begin(), rels.end()), rels.end());
 
-  std::vector<lint::Finding> findings;
-  for (const std::string& rel : files) {
-    lint::LintOptions opt;
-    opt.companion_header = companion_header_content(root_path, rel);
-    std::vector<lint::Finding> file_findings =
-        lint::lint_source(rel, read_file(root_path / rel), opt);
-    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+  lint::LintOptions opt;
+  const fs::path registry = root_path / opt.registry_path;
+  if (fs::exists(registry)) {
+    opt.telemetry_registry = util::Json::parse_file(registry.string());
   }
 
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<lint::SourceFile> sources;
+  sources.reserve(rels.size());
+  for (const std::string& rel : rels) {
+    sources.push_back({rel, read_file(root_path / rel)});
+  }
+  const lint::ProjectReport report = lint::lint_files(sources, opt, threads);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  const std::string default_baseline =
+      (root_path / "tools" / "lint_baseline.json").string();
   if (write_baseline) {
-    const std::string out =
-        baseline_path.empty() ? (root_path / "tools" / "lint_baseline.json").string()
-                              : baseline_path;
-    lint::baseline_from_findings(findings).to_json().dump_file(out);
-    std::cerr << "acclaim-lint: wrote baseline (" << findings.size() << " finding(s)) to "
-              << out << "\n";
+    const std::string out = baseline_path.empty() ? default_baseline : baseline_path;
+    lint::baseline_from_findings(report.findings).to_json().dump_file(out);
+    std::cerr << "acclaim-lint: wrote baseline (" << report.findings.size()
+              << " finding(s)) to " << out << "\n";
     return 0;
   }
 
   const lint::Baseline baseline =
       baseline_path.empty() ? lint::Baseline{} : lint::Baseline::load(baseline_path);
-  const lint::GateResult gate = lint::apply_baseline(findings, baseline);
+  const lint::GateResult gate = lint::apply_baseline(report.findings, baseline);
+
+  if (baseline_shrink) {
+    // Ratchet: every (check, file) allowance drops to the current count.
+    // Fresh findings are NOT absorbed — the gate below still fails on them.
+    lint::Baseline shrunk;
+    for (const auto& [key, allowed] : baseline.entries()) {
+      int actual = 0;
+      for (const lint::Finding& f : report.findings) {
+        actual += (f.check == key.first && f.file == key.second) ? 1 : 0;
+      }
+      const int kept = std::min(allowed, actual);
+      if (kept > 0) {
+        shrunk.set(key.first, key.second, kept);
+      }
+    }
+    const std::string out = baseline_path.empty() ? default_baseline : baseline_path;
+    shrunk.to_json().dump_file(out);
+    std::cerr << "acclaim-lint: shrank baseline from " << baseline.entries().size()
+              << " to " << shrunk.entries().size() << " entr"
+              << (shrunk.entries().size() == 1 ? "y" : "ies") << " at " << out << "\n";
+  }
+
+  if (!sarif_path.empty()) {
+    lint::sarif_report(gate.fresh).dump_file(sarif_path);
+  }
 
   if (json) {
-    std::cout << lint::report_json(gate, files.size()).dump(2) << "\n";
+    std::cout << lint::report_json(gate, report.files).dump(2) << "\n";
   } else {
-    lint::render_report(std::cout, gate, files.size());
+    lint::render_report(std::cout, gate, report.files, wall_s);
   }
+  warn_stale(gate);
   return gate.ok() ? 0 : 1;
 }
 

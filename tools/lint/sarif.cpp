@@ -1,0 +1,79 @@
+#include "lint/sarif.hpp"
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace acclaim::lint {
+
+namespace {
+
+const char* sarif_level(Severity s) {
+  return s == Severity::Error ? "error" : "warning";
+}
+
+}  // namespace
+
+util::Json sarif_report(const std::vector<Finding>& findings) {
+  util::Json doc = util::Json::object();
+  doc["$schema"] =
+      "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/"
+      "sarif-schema-2.1.0.json";
+  doc["version"] = "2.1.0";
+
+  util::Json driver = util::Json::object();
+  driver["name"] = "acclaim-lint";
+  driver["informationUri"] = "https://github.com/";
+  util::Json rules = util::Json::array();
+  std::map<std::string, std::size_t> rule_index;
+  for (const CheckInfo& c : all_checks()) {
+    util::Json rule = util::Json::object();
+    rule["id"] = c.id;
+    util::Json text = util::Json::object();
+    text["text"] = c.summary;
+    rule["shortDescription"] = std::move(text);
+    util::Json config = util::Json::object();
+    config["level"] = sarif_level(c.severity);
+    rule["defaultConfiguration"] = std::move(config);
+    rule_index.emplace(c.id, rule_index.size());
+    rules.push_back(std::move(rule));
+  }
+  driver["rules"] = std::move(rules);
+  util::Json tool = util::Json::object();
+  tool["driver"] = std::move(driver);
+
+  util::Json results = util::Json::array();
+  for (const Finding& f : findings) {
+    util::Json r = util::Json::object();
+    r["ruleId"] = f.check;
+    const auto it = rule_index.find(f.check);
+    r["ruleIndex"] = static_cast<long long>(it == rule_index.end() ? 0 : it->second);
+    r["level"] = sarif_level(f.severity);
+    util::Json msg = util::Json::object();
+    msg["text"] = f.hint.empty() ? f.message : f.message + " [fix: " + f.hint + "]";
+    r["message"] = std::move(msg);
+    util::Json artifact = util::Json::object();
+    artifact["uri"] = f.file;
+    util::Json region = util::Json::object();
+    region["startLine"] = static_cast<long long>(f.line == 0 ? 1 : f.line);
+    util::Json physical = util::Json::object();
+    physical["artifactLocation"] = std::move(artifact);
+    physical["region"] = std::move(region);
+    util::Json location = util::Json::object();
+    location["physicalLocation"] = std::move(physical);
+    util::Json locations = util::Json::array();
+    locations.push_back(std::move(location));
+    r["locations"] = std::move(locations);
+    results.push_back(std::move(r));
+  }
+
+  util::Json run = util::Json::object();
+  run["tool"] = std::move(tool);
+  run["results"] = std::move(results);
+  util::Json runs = util::Json::array();
+  runs.push_back(std::move(run));
+  doc["runs"] = std::move(runs);
+  return doc;
+}
+
+}  // namespace acclaim::lint

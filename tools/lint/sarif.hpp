@@ -1,0 +1,20 @@
+// SARIF 2.1.0 emission for acclaim_lint findings.
+//
+// The emitted document is the minimal schema-valid subset GitHub code
+// scanning consumes: one run, the full check registry as driver rules
+// (so suppressed checks still show their metadata), and one result per
+// fresh finding with a physicalLocation anchored at the finding line.
+#pragma once
+
+#include <vector>
+
+#include "lint/lint.hpp"
+#include "util/json.hpp"
+
+namespace acclaim::lint {
+
+/// SARIF 2.1.0 document for `findings` (normally GateResult::fresh — the
+/// baselined findings are debt already acknowledged, not new alerts).
+util::Json sarif_report(const std::vector<Finding>& findings);
+
+}  // namespace acclaim::lint

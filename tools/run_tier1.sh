@@ -16,10 +16,11 @@
 #                     ctest -L "determinism|stress")
 #   --skip-tsan       skip the TSan pass after the main suite
 #   --lint            run ONLY the static-analysis stages: build and run
-#                     acclaim_lint over src/ tools/ tests/, then clang-tidy
-#                     via compile_commands.json when clang-tidy is installed
-#                     (skipped with a note otherwise — the gcc-only dev
-#                     container has no clang)
+#                     acclaim_lint over src/ tools/ tests/ bench/ (the same
+#                     scan + summary line CI's lint job gates on), then
+#                     clang-tidy via compile_commands.json when clang-tidy
+#                     is installed (skipped with a note otherwise — the
+#                     gcc-only dev container has no clang)
 set -uo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -113,9 +114,11 @@ run_tsan() {
 }
 
 run_acclaim_lint() {
+  # Same invocation CI's lint job uses (minus the SARIF upload): whole-tree
+  # scan with the per-file summary line, gated on the ratchet baseline.
   cmake --build "$repo_root/$build_dir" --target acclaim_lint -j "$jobs" &&
   "$repo_root/$build_dir/tools/acclaim_lint" --root "$repo_root" \
-    --baseline "$repo_root/tools/lint_baseline.json" src tools tests
+    --baseline "$repo_root/tools/lint_baseline.json" src tools tests bench
 }
 
 run_clang_tidy() {
